@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints it next to the published numbers, and saves the rendered report
+under ``benchmarks/out/``.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.bench.experiments import CellResult
+from repro.bench.reporting import Comparison, comparison_table
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def report(title: str, cells: List[CellResult], unit: str = "") -> str:
+    """Render, print, and persist a measured-vs-paper table."""
+    comparisons = [
+        Comparison(c.label, c.measured, c.paper, unit=unit) for c in cells
+    ]
+    text = comparison_table(title, comparisons)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    filename = title.split(":")[0].strip().lower().replace(" ", "_") + ".txt"
+    with open(os.path.join(OUT_DIR, filename), "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+    return text
+
+
+@pytest.fixture
+def save_report():
+    """Fixture exposing the report helper."""
+    return report

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from the live cost models.
+
+    python benchmarks/generate_experiments_md.py > EXPERIMENTS.md
+
+Runs every table/figure experiment and renders paper-vs-measured
+markdown so the committed EXPERIMENTS.md always reflects the code.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+
+from repro.bench.experiments import (
+    run_figure9,
+    run_figure10,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+)
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation (Section 7), reproduced
+by this library's calibrated models and functional kernels.  Regenerate
+with `python benchmarks/generate_experiments_md.py > EXPERIMENTS.md`;
+the benchmark suite (`pytest benchmarks/ --benchmark-only`) asserts the
+qualitative shapes (orderings, trends, crossovers) and that **every cell
+lands within 5x of the published value** — most are far closer.
+
+Absolute numbers come from an analytic cycle model of the WSE-2 (see
+DESIGN.md for the substitution rationale and calibration constants), so
+agreement should be read as "the model reproduces the published system
+behaviour", not as a hardware measurement.
+
+"""
+
+NOTES = """
+## Reading notes / known deviations
+
+* **Table 2 metric.** The published end-to-end throughput only
+  reconciles with the paper's own prefill (Table 3) and decode (Table 4)
+  rates if it counts *generated* tokens over total request time; we use
+  that definition.
+* **Table 5 absolutes.** Concat/shift capacities depend on the per-core
+  SRAM left after weights and runtime reserve (a constant we document in
+  `repro.llm.kvcache`); the headline ratio — shift supports
+  `grid_height` x more tokens (360x / 375x) — is reserve-independent and
+  matches the paper's 360x / 385x.
+* **Table 6/8 energy ratios.** All energy ratios are device power x
+  time with P(WSE-2) = 15 kW and P(A100) = 555 W, the constants that
+  reproduce the paper's published GEMV/GEMM ratios; our MeshGEMV is
+  modestly faster than the paper's measured kernel, which proportionally
+  raises the Table 6 ratios.
+* **T10 / Ladder.** Three documented constants per baseline (see
+  `repro.baselines`) are calibrated against Table 3/4 columns; Table 2
+  is then reproduced without further tuning.
+"""
+
+
+def md_table(title: str, headers, rows) -> str:
+    out = [f"## {title}", ""]
+    out.append("| " + " | ".join(headers) + " |")
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    out.append("")
+    return "\n".join(out)
+
+
+def fmt(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    if value >= 0.01:
+        return f"{value:.3f}"
+    return f"{value:.5f}"
+
+
+def cells_to_rows(cells):
+    rows = []
+    for cell in cells:
+        ratio = f"{cell.measured / cell.paper:.2f}x" if cell.paper else "—"
+        paper = fmt(cell.paper) if cell.paper is not None else "—"
+        rows.append([cell.label, fmt(cell.measured), paper, ratio])
+    return rows
+
+
+def figure_rows(cells):
+    rows = []
+    for cell in cells:
+        rows.append([
+            cell.label,
+            f"{cell.measured:,.0f}",
+            f"{cell.extra['compute_cycles']:,.0f}",
+            f"{cell.extra['comm_cycles']:,.0f}",
+        ])
+    return rows
+
+
+def main() -> None:
+    out = io.StringIO()
+    out.write(HEADER)
+    headers = ["case", "measured", "paper", "measured/paper"]
+
+    out.write(md_table("Table 2 — end-to-end throughput (generated tokens/s)",
+                       headers, cells_to_rows(run_table2())))
+    out.write(md_table("Table 3 — prefill throughput (tokens/s, seq 4096)",
+                       headers, cells_to_rows(run_table3())))
+    out.write(md_table("Table 4 — decode throughput (tokens/s, context 2048)",
+                       headers, cells_to_rows(run_table4())))
+    out.write(md_table("Table 5 — maximum tokens in generation",
+                       headers, cells_to_rows(run_table5())))
+    out.write(md_table("Table 6 — MeshGEMV (WSE-2) vs cuBLAS (A100)",
+                       headers, cells_to_rows(run_table6())))
+    out.write(md_table("Table 7 — MeshGEMM (WSE-2) vs cuBLAS (A100)",
+                       headers, cells_to_rows(run_table7())))
+    out.write(md_table("Table 8 — WaferLLM (WSE-2) vs vLLM (A100), 4096/4096",
+                       headers, cells_to_rows(run_table8())))
+
+    fig_headers = ["case", "total cycles", "compute cycles", "comm cycles"]
+    out.write(md_table(
+        "Figure 9 — MeshGEMM vs SUMMA vs Cannon (no published cycle "
+        "counts; shapes asserted in benchmarks)",
+        fig_headers, figure_rows(run_figure9())))
+    out.write(md_table(
+        "Figure 10 — MeshGEMV vs GEMV-Cerebras (no published cycle "
+        "counts; shapes asserted in benchmarks)",
+        fig_headers, figure_rows(run_figure10())))
+
+    out.write(NOTES)
+    sys.stdout.write(out.getvalue())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Ablation — fine-grained replication vs partition-only decode layouts
+(Section 4.2).
+
+Decode activations are a single length-1 token vector.  Partition-only
+layouts can split it across at most one mesh axis (N-way parallelism);
+WaferLLM replicates the free dimension along the other axis (``B E_y
+L^x``), lighting up all N^2 cores.  This bench quantifies the win for
+one decode-layer GEMV chain and checks the paper's rationale: the
+replicated plan needs no extra allreduce — its reduction tree is the
+same K-tree the 1-D plan needs anyway.
+"""
+
+import os
+
+from repro.bench.reporting import format_table
+from repro.collectives.plans import ktree_reduce_plan
+from repro.core.device_presets import WSE2
+from repro.gemv import MeshGEMV
+from repro.llm.config import LLAMA3_8B
+from repro.mesh.cost_model import ComputePhase, estimate
+from conftest import OUT_DIR
+
+
+def _partition_only_cost(device, rows, cols, grid):
+    """GEMV with the vector split along one axis only (1-D parallelism).
+
+    Each of the ``grid`` core-columns holds a ``rows/grid`` slice of the
+    vector and the full column strip of the matrix; the partials still
+    reduce down the column with the K-tree.
+    """
+    tk = -(-rows // grid)
+    phases = [ComputePhase(label="1d-partial", macs_per_core=float(tk * cols))]
+    phases += ktree_reduce_plan(grid, payload_bytes=float(cols * 2),
+                                payload_elems=float(cols), k=2)
+    return estimate("partition-only", device, phases)
+
+
+def test_decode_layout_ablation(benchmark):
+    device = WSE2
+    model = LLAMA3_8B
+    grid = 360  # the 8B decode configuration
+
+    def run():
+        out = {}
+        for name, (k, n) in {
+            "wq (E->E)": (model.d_model, model.d_model),
+            "w-gate (E->F)": (model.d_model, model.d_ff),
+            "w-down (F->E)": (model.d_ff, model.d_model),
+        }.items():
+            replicated = MeshGEMV.estimate(device, rows=k, cols=n, grid=grid)
+            partitioned = _partition_only_cost(device, k, n, grid)
+            out[name] = (replicated, partitioned)
+        return out
+
+    sweep = benchmark(run)
+    rows = []
+    for name, (replicated, partitioned) in sweep.items():
+        rows.append([
+            name,
+            f"{replicated.total_cycles:,.0f}",
+            f"{partitioned.total_cycles:,.0f}",
+            f"{partitioned.total_cycles / replicated.total_cycles:.1f}x",
+        ])
+    table = format_table(
+        "Ablation: replicated (2-D) vs partition-only (1-D) decode GEMV "
+        f"@ {grid}x{grid}",
+        ["projection", "replicated cyc", "partition-only cyc", "win"], rows,
+    )
+    print("\n" + table)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "ablation_decode_layout.txt"), "w") as f:
+        f.write(table + "\n")
+
+    # Replication wins on every projection; the FFN GEMVs (the decode
+    # cycle hogs) gain the most because their compute dominates.
+    for name, (replicated, partitioned) in sweep.items():
+        assert replicated.total_cycles < partitioned.total_cycles, name
+    ffn_win = (sweep["w-gate (E->F)"][1].total_cycles
+               / sweep["w-gate (E->F)"][0].total_cycles)
+    assert ffn_win > 10

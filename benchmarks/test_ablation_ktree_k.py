@@ -1,0 +1,73 @@
+"""Ablation — the K in the two-way K-tree allreduce (Section 6.2).
+
+The paper fixes K = 2, arguing that deeper trees add routing complexity
+for shrinking returns and that K must respect the R budget.  This bench
+sweeps K over the MeshGEMV cost model and over functional runs, showing:
+
+* K = 1 (a two-way linear reduce) is clearly worst — the L cliff;
+* K = 2 captures almost all of the benefit;
+* K >= 3 changes little while raising the root's route-colour count
+  (K + 1), eating into the R budget.
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.core.device_presets import TINY_MESH, WSE2
+from repro.gemv import meshgemv_with_k
+from repro.mesh.machine import MeshMachine
+from conftest import OUT_DIR
+
+KS = (1, 2, 3, 4)
+
+
+def test_ktree_k_sweep(benchmark):
+    device = WSE2
+
+    def run():
+        return {
+            k: meshgemv_with_k(k).estimate(device, rows=16384, cols=16384,
+                                           grid=720)
+            for k in KS
+        }
+
+    costs = benchmark(run)
+    rows = [[f"K={k}", f"{costs[k].total_cycles:,.0f}",
+             f"{costs[k].comm_cycles:,.0f}", f"{k + 1}"] for k in KS]
+    table = format_table(
+        "Ablation: K-tree arity (GEMV 16K @ 720x720)",
+        ["K", "total cyc", "comm cyc", "paths at root"], rows,
+    )
+    print("\n" + table)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "ablation_ktree_k.txt"), "w") as handle:
+        handle.write(table + "\n")
+
+    # K=1 is the linear-reduce cliff.
+    assert costs[1].total_cycles > 2 * costs[2].total_cycles
+    # K=2 already captures most of the benefit: K=3/4 change < 40%.
+    for k in (3, 4):
+        assert abs(costs[k].total_cycles - costs[2].total_cycles) \
+            < 0.4 * costs[2].total_cycles
+
+
+def test_ktree_k_functional_equivalence(benchmark):
+    """All K values compute the same GEMV on the functional mesh."""
+    grid = 8
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal(grid * 2)
+    b = rng.standard_normal((grid * 2, grid))
+    expected = a @ b
+
+    def run():
+        results = {}
+        for k in KS:
+            machine = MeshMachine(TINY_MESH.submesh(grid, grid))
+            results[k] = meshgemv_with_k(k).run(machine, a, b)
+        return results
+
+    results = benchmark(run)
+    for k, got in results.items():
+        assert np.allclose(got, expected), k

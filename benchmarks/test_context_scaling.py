@@ -1,0 +1,70 @@
+"""Extension bench — decode cost vs live context length.
+
+Not a published table, but implied by the paper's setup: the decode
+step's attention GEMVs scan the whole shift-balanced KV cache, so the
+per-token cost is affine in the context length while the projection/FFN
+part is constant.  This bench sweeps the context and checks both the
+affine shape and the GQA-vs-MHA contrast: the MHA 13B model pays both a
+steeper context slope (more heads) and — the real GQA win — ~5x more KV
+bytes per token relative to its size, the architectural reason LLaMA3
+adopted grouped-query attention.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core import WSE2
+from repro.llm.config import LLAMA2_13B, LLAMA3_8B
+from repro.llm.wafer_system import WaferLLMSystem
+from conftest import OUT_DIR
+
+CONTEXTS = (128, 1024, 4096, 16384, 65536)
+
+
+def test_context_scaling(benchmark):
+    system = WaferLLMSystem(WSE2)
+
+    def run():
+        out = {}
+        for model, grid in ((LLAMA3_8B, 360), (LLAMA2_13B, 375)):
+            out[model.name] = {
+                ctx: system.decode_token_cost(model, ctx, grid).seconds
+                for ctx in CONTEXTS
+            }
+        return out
+
+    sweep = benchmark(run)
+    rows = []
+    for name, series in sweep.items():
+        for ctx, seconds in series.items():
+            rows.append([name, f"{ctx:,}", f"{seconds * 1e3:.3f}",
+                         f"{1 / seconds:,.0f}"])
+    table = format_table(
+        "Decode cost vs context length",
+        ["model", "context", "ms/token", "tok/s"], rows,
+    )
+    print("\n" + table)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "context_scaling.txt"), "w") as handle:
+        handle.write(table + "\n")
+
+    for name, series in sweep.items():
+        times = [series[ctx] for ctx in CONTEXTS]
+        # Monotone in context.
+        assert times == sorted(times), name
+        # Affine: the marginal cost per context token is ~constant.
+        slope_lo = (series[4096] - series[1024]) / (4096 - 1024)
+        slope_hi = (series[65536] - series[16384]) / (65536 - 16384)
+        assert slope_hi == pytest.approx(slope_lo, rel=0.5), name
+
+    # The larger MHA model pays a steeper context slope (more heads x
+    # wider E), while GQA's real win is *memory*: per-token KV bytes are
+    # 5x smaller relative to model width (why LLaMA3 adopted it).
+    slope_8b = (sweep["llama3-8b"][65536] - sweep["llama3-8b"][128]) / 65408
+    slope_13b = (sweep["llama2-13b"][65536] - sweep["llama2-13b"][128]) / 65408
+    assert slope_13b > 1.2 * slope_8b
+    kv_8b = LLAMA3_8B.kv_bytes_per_token() / LLAMA3_8B.weight_bytes
+    kv_13b = LLAMA2_13B.kv_bytes_per_token() / LLAMA2_13B.weight_bytes
+    assert kv_13b > 3 * kv_8b

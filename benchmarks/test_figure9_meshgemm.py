@@ -1,0 +1,125 @@
+"""Figure 9 — MeshGEMM vs SUMMA vs Cannon.
+
+Two sweeps, exactly as the figure plots them:
+
+* **core scaling** — fixed matrix size (2K/4K/8K), cores from 480^2 to
+  720^2; reports total, compute, and communication cycles;
+* **matrix-size scaling** — fixed 720^2 cores, matrices 2K to 32K.
+
+Asserted shapes (Section 7.2): MeshGEMM has the lowest total cycles and
+keeps >70% efficiency near the hardware limit while SUMMA/Cannon fall
+below ~50% at 720^2 on small matrices; at 2K, SUMMA/Cannon *worsen* when
+scaled 540^2 -> 720^2 while MeshGEMM does not; at 8K the communication
+gap closes because compute fully hides it.
+"""
+
+from repro.bench.experiments import run_figure9
+from repro.bench.reporting import format_table
+from repro.core.device_presets import WSE2
+from repro.gemm import CannonGEMM, MeshGEMM, SummaGEMM
+from repro.gemm.base import GemmShape
+from conftest import OUT_DIR
+
+import os
+
+KERNELS = (MeshGEMM, CannonGEMM, SummaGEMM)
+
+
+def _efficiency(cost, shape, grid, device):
+    ideal = shape.total_macs / (grid * grid * device.macs_per_cycle)
+    return ideal / cost.total_cycles
+
+
+def test_figure9_core_scaling(benchmark):
+    cells = benchmark(run_figure9)
+    rows = []
+    for cell in cells:
+        rows.append([
+            cell.label,
+            f"{cell.measured:,.0f}",
+            f"{cell.extra['compute_cycles']:,.0f}",
+            f"{cell.extra['comm_cycles']:,.0f}",
+            f"{cell.extra['ms']:.3f}",
+        ])
+    table = format_table(
+        "Figure 9: MeshGEMM vs SUMMA vs Cannon (core scaling)",
+        ["case", "total cyc", "compute cyc", "comm cyc", "ms"], rows,
+    )
+    print("\n" + table)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "figure_9.txt"), "w") as handle:
+        handle.write(table + "\n")
+
+    by_point = {}
+    for cell in cells:
+        point, kernel = cell.label.rsplit(" ", 1)
+        by_point.setdefault(point, {})[kernel] = cell
+
+    # MeshGEMM never loses beyond noise.
+    for point, kernels in by_point.items():
+        best = min(c.measured for c in kernels.values())
+        assert kernels["meshgemm"].measured <= best * 1.001, point
+
+    # GEMM 2K: scaling 540 -> 720 worsens SUMMA and Cannon, not MeshGEMM.
+    for kernel in ("cannon", "summa"):
+        assert by_point["gemm2K@720"][kernel].measured > \
+            by_point["gemm2K@540"][kernel].measured, kernel
+    assert by_point["gemm2K@720"]["meshgemm"].measured <= \
+        by_point["gemm2K@540"]["meshgemm"].measured * 1.05
+
+
+def test_figure9_efficiency_claims(benchmark):
+    device = WSE2
+    shape = GemmShape.square(4096)
+
+    def run():
+        return {
+            kernel.name: kernel.estimate(device, shape, grid=720)
+            for kernel in KERNELS
+        }
+
+    costs = benchmark(run)
+    eff = {name: _efficiency(cost, shape, 720, device)
+           for name, cost in costs.items()}
+    # MeshGEMM holds >70% efficiency near the hardware limit;
+    # SUMMA and Cannon fall below ~50% (Section 7.2).
+    assert eff["meshgemm"] > 0.70, eff
+    assert eff["summa"] < 0.55, eff
+    assert eff["cannon"] < 0.55, eff
+
+
+def test_figure9_matrix_size_scaling(benchmark):
+    device = WSE2
+
+    def run():
+        out = {}
+        for dim in (2048, 4096, 8192, 16384, 32768):
+            shape = GemmShape.square(dim)
+            out[dim] = {
+                kernel.name: kernel.estimate(device, shape, grid=720)
+                for kernel in KERNELS
+            }
+        return out
+
+    sweep = benchmark(run)
+    rows = [
+        [f"{dim // 1024}K", *(f"{sweep[dim][k.name].total_cycles:,.0f}"
+                              for k in KERNELS)]
+        for dim in sorted(sweep)
+    ]
+    print("\n" + format_table(
+        "Figure 9 (right): matrix-size scaling at 720x720 (total cycles)",
+        ["size", "meshgemm", "cannon", "summa"], rows,
+    ))
+
+    # Large matrices: communication matters less — the kernels converge
+    # to within noise of each other (the paper still measures ~17%
+    # there from effects below this model's resolution); MeshGEMM is
+    # never worse.
+    big = sweep[32768]
+    assert big["meshgemm"].total_cycles <= big["summa"].total_cycles * 1.001
+    assert big["meshgemm"].total_cycles <= big["cannon"].total_cycles * 1.001
+
+    # Small matrices: the gap is multiplicative (paper: 2-3x+).
+    small = sweep[2048]
+    assert small["summa"].total_cycles / small["meshgemm"].total_cycles > 2

@@ -1,0 +1,65 @@
+"""Validation bench — fluid NoC simulation vs the closed-form cost model.
+
+Runs the max-min-fair flow simulator over the communication patterns the
+kernels actually use and compares against what the analytic phases
+charge: uncontended patterns must match exactly; allgather's incast must
+show the serialization the allgather-GEMM plan prices in; Cannon's
+wraparound must show *no* bandwidth contention (full-duplex links), the
+finding that keeps the cyclic-GEMM plan contention-free.
+"""
+
+import os
+
+from repro.bench.reporting import format_table
+from repro.core import WSE2
+from repro.mesh.netsim import (
+    FlowSpec,
+    allgather_incast_slowdown,
+    cannon_wraparound_slowdown,
+    simulate_flows,
+)
+from conftest import OUT_DIR
+
+
+def test_noc_validation(benchmark):
+    device = WSE2
+
+    def run():
+        rows = []
+        # 1. Single flows of kernel-typical sizes: closed form must hold.
+        for hops, payload in ((2, 968), (719, 968), (27, 44)):
+            flow = FlowSpec((0, 0), (hops, 0), float(payload))
+            result = simulate_flows(device, [flow])[0]
+            rows.append((f"single flow {hops}h/{payload}B",
+                         result.completion_cycles,
+                         result.uncontended_cycles))
+        # 2. Interleaved shift: every two-hop flow at full rate.
+        shift = [FlowSpec((x, 0), (x + 2, 0), 968.0) for x in range(0, 40, 4)]
+        worst = max(r.slowdown for r in simulate_flows(device, shift))
+        rows.append(("interleaved shifts slowdown", worst, 1.0))
+        # 3. Cannon wraparound and allgather incast.
+        rows.append(("cannon wraparound slowdown",
+                     cannon_wraparound_slowdown(device, 128, 968.0), 1.0))
+        rows.append(("allgather incast x16 slowdown",
+                     allgather_incast_slowdown(device, 16, 968.0), 15.0))
+        return rows
+
+    rows = benchmark(run)
+    table = format_table(
+        "NoC validation: fluid simulation vs closed form",
+        ["scenario", "simulated", "closed form"],
+        [[name, f"{sim:.2f}", f"{model:.2f}"] for name, sim, model in rows],
+    )
+    print("\n" + table)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "noc_validation.txt"), "w") as handle:
+        handle.write(table + "\n")
+
+    by_name = {name: (sim, model) for name, sim, model in rows}
+    for name, (sim, model) in by_name.items():
+        if name.startswith("single flow"):
+            assert sim == model, name
+    assert by_name["interleaved shifts slowdown"][0] == 1.0
+    assert abs(by_name["cannon wraparound slowdown"][0] - 1.0) < 0.05
+    incast_sim, incast_model = by_name["allgather incast x16 slowdown"]
+    assert 0.5 * incast_model < incast_sim < 1.5 * incast_model

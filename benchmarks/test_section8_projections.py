@@ -1,0 +1,79 @@
+"""Section 8 bench — future-direction projections, quantified.
+
+Regenerates the paper's forward-looking claims from the calibrated
+models:
+
+* resident (pipeline-free) decode reaches ~10k tokens/s for a 13B-class
+  model — the Section 8 hardware-architecture projection;
+* wider/shallower same-parameter models decode faster on the wafer —
+  the LLM-model-design thesis;
+* MeshGEMM/MeshGEMV stay ahead on Dojo-like fabrics — "beyond Cerebras";
+* a 40x-density SoW wafer keeps the PLMR structure (L grows) while
+  prefill throughput rises.
+"""
+
+import os
+
+from repro.bench.reporting import format_table
+from repro.core import DOJO_LIKE, WSE2, WSE3
+from repro.llm import (
+    LLAMA2_13B,
+    LLAMA3_8B,
+    cross_device_kernels,
+    resident_decode_projection,
+    sow_density_projection,
+    width_study,
+)
+from conftest import OUT_DIR
+
+
+def test_resident_decode_projection(benchmark):
+    projection = benchmark(resident_decode_projection, LLAMA2_13B, WSE2, 375)
+    print(f"\n13B decode today {projection.current_tokens_per_s:,.0f} tok/s "
+          f"-> resident {projection.projected_tokens_per_s:,.0f} tok/s "
+          f"({projection.stages} stages)")
+    # Section 8: "potentially reaching 10,000 tokens per second".
+    assert 6_000 < projection.projected_tokens_per_s < 16_000
+
+
+def test_wider_models_decode_faster(benchmark):
+    rows = benchmark(width_study, LLAMA3_8B, WSE2, 360, (1.0, 2.0, 4.0))
+    table = format_table(
+        "Section 8: wider-layer variants of LLaMA3-8B (decode @360x360)",
+        ["width", "layers", "d_model", "params (B)", "decode tok/s"],
+        [[f"{r['factor']:g}x", r["layers"], r["d_model"],
+          f"{r['params_b']:.1f}", f"{r['decode_tok_s']:,.0f}"] for r in rows],
+    )
+    print("\n" + table)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "section8_width.txt"), "w") as handle:
+        handle.write(table + "\n")
+    rates = [r["decode_tok_s"] for r in rows]
+    assert rates == sorted(rates)
+
+
+def test_beyond_wse_devices(benchmark):
+    rows = benchmark(cross_device_kernels, [WSE2, WSE3, DOJO_LIKE])
+    table = format_table(
+        "Section 8: kernels across PLMR devices (total cycles, 4K problem)",
+        ["device", "meshgemm", "cannon", "summa", "meshgemv", "pipeline"],
+        [[r["device"], f"{r['meshgemm']:,.0f}", f"{r['cannon']:,.0f}",
+          f"{r['summa']:,.0f}", f"{r['meshgemv']:,.0f}",
+          f"{r['pipeline_gemv']:,.0f}"] for r in rows],
+    )
+    print("\n" + table)
+    for row in rows:
+        assert row["meshgemm"] <= row["cannon"] * 1.001, row["device"]
+        assert row["meshgemv"] <= row["pipeline_gemv"] * 1.001, row["device"]
+
+
+def test_sow_density_scaling(benchmark):
+    projection = benchmark(sow_density_projection, WSE2, LLAMA3_8B, 40.0)
+    print(f"\nSoW 40x: cores {projection['base_cores']:,.0f} -> "
+          f"{projection['future_cores']:,.0f}; prefill "
+          f"{projection['base_prefill_tok_s']:,.0f} -> "
+          f"{projection['future_prefill_tok_s']:,.0f} tok/s")
+    assert projection["future_prefill_tok_s"] > \
+        projection["base_prefill_tok_s"]
+    # The PLMR L property persists (and intensifies) at higher density.
+    assert projection["future_latency_variance"] > WSE2.latency_variance

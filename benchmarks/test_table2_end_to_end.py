@@ -1,0 +1,33 @@
+"""Table 2 — end-to-end LLM inference throughput (tokens/s).
+
+Regenerates every cell: {LLaMA3-8B, LLaMA2-13B} x {2048/128, 4096/128,
+2048/2048, 4096/4096} x {WaferLLM, T10, Ladder}, at the paper's core
+configurations (8B: 660^2 prefill / 360^2 decode; 13B: 750^2 / 375^2).
+"""
+
+from repro.bench.experiments import run_table2
+from conftest import report
+
+
+def test_table2_end_to_end(benchmark):
+    cells = benchmark(run_table2)
+    report("Table 2: end-to-end throughput (generated tokens/s)", cells,
+           unit="tok/s")
+
+    by_cell = {c.label: c.measured for c in cells}
+    for model in ("llama3-8b", "llama2-13b"):
+        for config in ("2048/128", "4096/128", "2048/2048", "4096/4096"):
+            wafer = by_cell[f"{model} {config} waferllm"]
+            t10 = by_cell[f"{model} {config} t10"]
+            ladder = by_cell[f"{model} {config} ladder"]
+            # Shape: WaferLLM >> T10 >> Ladder, by orders of magnitude.
+            assert wafer > 10 * t10, (model, config)
+            assert t10 > 2 * ladder, (model, config)
+
+    # Long generations amortize prefill: 2048/2048 beats 2048/128.
+    assert by_cell["llama3-8b 2048/2048 waferllm"] > \
+        by_cell["llama3-8b 2048/128 waferllm"]
+
+    # Every cell within 5x of the published value.
+    for cell in cells:
+        assert 0.2 < cell.measured / cell.paper < 5.0, cell.label

@@ -1,0 +1,41 @@
+"""Table 3 — prefill throughput (tokens/s) across core configurations.
+
+Four models x three core configurations (480^2, 600^2, 720^2) x three
+systems, at input sequence length 4096.  Asserts the paper's shapes:
+WaferLLM scales up with cores while T10 and Ladder decline.
+"""
+
+from repro.bench.experiments import run_table3
+from conftest import report
+
+MODELS = ("llama3-8b", "llama2-13b", "codellama-34b", "qwen2-72b")
+GRIDS = (480, 600, 720)
+
+
+def test_table3_prefill(benchmark):
+    cells = benchmark(run_table3)
+    report("Table 3: prefill throughput (tokens/s, seq 4096)", cells,
+           unit="tok/s")
+    by_cell = {c.label: c.measured for c in cells}
+
+    for model in MODELS:
+        wafer = [by_cell[f"{model}@{g} waferllm"] for g in GRIDS]
+        t10 = [by_cell[f"{model}@{g} t10"] for g in GRIDS]
+        ladder = [by_cell[f"{model}@{g} ladder"] for g in GRIDS]
+        # WaferLLM scales with cores; baselines decline (Section 7.1).
+        assert wafer == sorted(wafer), model
+        assert t10 == sorted(t10, reverse=True), model
+        assert ladder == sorted(ladder, reverse=True), model
+        # Orders of magnitude: ~100x over T10, several 100x over Ladder.
+        assert wafer[0] > 40 * t10[0], model
+        assert wafer[0] > 100 * ladder[0], model
+
+    # Paper: 1.4x scale-up for 8B and 1.6x for 72B from 480^2 to 720^2 —
+    # larger models scale better.
+    scale_8b = by_cell["llama3-8b@720 waferllm"] / by_cell["llama3-8b@480 waferllm"]
+    scale_72b = by_cell["qwen2-72b@720 waferllm"] / by_cell["qwen2-72b@480 waferllm"]
+    assert 1.1 < scale_8b < 1.8
+    assert scale_72b > scale_8b
+
+    for cell in cells:
+        assert 0.2 < cell.measured / cell.paper < 5.0, cell.label

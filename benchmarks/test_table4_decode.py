@@ -1,0 +1,39 @@
+"""Table 4 — decode throughput (tokens/s) across core configurations.
+
+Four models x three decode configurations (420^2, 540^2, 660^2) x three
+systems, at a 2048-token live context.  Asserts the paper's shape:
+*everyone's* decode throughput declines as cores grow (NoC latency hurts
+GEMV), and WaferLLM's margin over T10 is single-digit (~5.7x) while the
+margin over Ladder stays in the hundreds.
+"""
+
+from repro.bench.experiments import run_table4
+from conftest import report
+
+MODELS = ("llama3-8b", "llama2-13b", "codellama-34b", "qwen2-72b")
+GRIDS = (420, 540, 660)
+
+
+def test_table4_decode(benchmark):
+    cells = benchmark(run_table4)
+    report("Table 4: decode throughput (tokens/s)", cells, unit="tok/s")
+    by_cell = {c.label: c.measured for c in cells}
+
+    for model in MODELS:
+        wafer = [by_cell[f"{model}@{g} waferllm"] for g in GRIDS]
+        t10 = [by_cell[f"{model}@{g} t10"] for g in GRIDS]
+        # Decode throughput decreases with more cores (Section 7.1).
+        assert wafer == sorted(wafer, reverse=True), model
+        assert t10 == sorted(t10, reverse=True), model
+
+    # Speedups at 420^2: vs T10 single-digit, vs Ladder hundreds.
+    wafer = by_cell["llama3-8b@420 waferllm"]
+    assert 3 < wafer / by_cell["llama3-8b@420 t10"] < 12
+    assert 80 < wafer / by_cell["llama3-8b@420 ladder"] < 600
+
+    # Decode gains over T10 are far below the prefill gains (~160x):
+    # the paper attributes this to decode moving much less data.
+    assert wafer / by_cell["llama3-8b@420 t10"] < 20
+
+    for cell in cells:
+        assert 0.2 < cell.measured / cell.paper < 5.0, cell.label

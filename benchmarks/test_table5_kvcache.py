@@ -1,0 +1,60 @@
+"""Table 5 — maximum tokens in generation (KV-cache capacity).
+
+Shift-based (WaferLLM) vs concat-based (PagedAttention-style) cache
+management at the end-to-end decode configurations.  The headline shape:
+the shift-based manager supports ``grid_height`` x more tokens (360x for
+8B, ~385x for 13B) because every row of cores shares the load instead of
+only the append row.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import run_table5
+from repro.llm.config import get_model
+from repro.llm.kvcache import ConcatKVCache, ShiftKVCache, capacity_geometry
+from conftest import report
+
+
+def test_table5_capacity(benchmark):
+    cells = benchmark(run_table5)
+    report("Table 5: maximum tokens in generation", cells, unit="tokens")
+    by_cell = {c.label: c.measured for c in cells}
+
+    for model, grid in (("llama3-8b", 360), ("llama2-13b", 375)):
+        shift = by_cell[f"{model} shift"]
+        concat = by_cell[f"{model} concat"]
+        # The capacity ratio equals the row count exactly.
+        assert shift / concat == grid, model
+        # Paper reports 360x / 385x — same two-orders-of-magnitude shape.
+        assert shift / concat > 300
+
+    for cell in cells:
+        assert 0.2 < cell.measured / cell.paper < 5.0, cell.label
+
+
+def test_table5_failure_is_driven_not_computed(benchmark):
+    """Actually fill a scaled-down cache until it refuses (failure path)."""
+    model = get_model("llama3-8b")
+
+    def fill_to_failure():
+        geometry = capacity_geometry(model, 8, 48 * 1024, 851_400)
+        concat = ConcatKVCache(geometry)
+        shift = ShiftKVCache(geometry)
+        empty = np.zeros(0)
+        concat_count = shift_count = 0
+        try:
+            while True:
+                concat.append(empty, empty)
+                concat_count += 1
+        except Exception:
+            pass
+        try:
+            while True:
+                shift.append(empty, empty)
+                shift_count += 1
+        except Exception:
+            pass
+        return concat_count, shift_count
+
+    concat_count, shift_count = benchmark(fill_to_failure)
+    assert shift_count == 8 * concat_count

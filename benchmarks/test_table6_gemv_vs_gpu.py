@@ -1,0 +1,30 @@
+"""Table 6 — MeshGEMV (WSE-2) vs cuBLAS (A100): GEMV latency and energy.
+
+The paper's headline micro-benchmark: on same-process-node silicon the
+wafer's on-chip bandwidth beats HBM by ~3 orders of magnitude in GEMV
+latency and ~an order of magnitude in energy.
+"""
+
+from repro.bench.experiments import run_table6
+from conftest import report
+
+
+def test_table6_gemv_vs_gpu(benchmark):
+    cells = benchmark(run_table6)
+    report("Table 6: MeshGEMV(WSE-2) vs cuBLAS(A100) GEMV", cells)
+    by_cell = {c.label: c.measured for c in cells}
+
+    for dim in (16, 32):
+        wse = by_cell[f"gemv{dim}K wse_ms"]
+        gpu = by_cell[f"gemv{dim}K a100_ms"]
+        ratio = by_cell[f"gemv{dim}K energy_ratio"]
+        # Latency: hundreds of times faster (paper: 280x / 606x).
+        assert 100 < gpu / wse < 3000, dim
+        # Energy: wafer wins by ~an order of magnitude (paper: 10x/22x).
+        assert 5 < ratio < 60, dim
+
+    # The gap grows with matrix size (32K ratio > 16K ratio).
+    assert by_cell["gemv32K energy_ratio"] > by_cell["gemv16K energy_ratio"]
+
+    for cell in cells:
+        assert 0.2 < cell.measured / cell.paper < 5.0, cell.label

@@ -1,0 +1,28 @@
+"""Table 7 — MeshGEMM (WSE-2) vs cuBLAS (A100): GEMM latency and energy.
+
+The counterpoint to Table 6: GEMM is compute-bound, so the wafer's
+bandwidth advantage buys latency (~8x, from sheer silicon area) but NOT
+energy — the A100's denser, more efficient cores win the energy ratio
+(paper: ~0.27-0.31, i.e. the wafer uses ~3x more energy).
+"""
+
+from repro.bench.experiments import run_table7
+from conftest import report
+
+
+def test_table7_gemm_vs_gpu(benchmark):
+    cells = benchmark(run_table7)
+    report("Table 7: MeshGEMM(WSE-2) vs cuBLAS(A100) GEMM", cells)
+    by_cell = {c.label: c.measured for c in cells}
+
+    for dim in (16, 32):
+        wse = by_cell[f"gemm{dim}K wse_ms"]
+        gpu = by_cell[f"gemm{dim}K a100_ms"]
+        ratio = by_cell[f"gemm{dim}K energy_ratio"]
+        # Latency: wafer faster by mid-single-digit factor (paper ~8x).
+        assert 3 < gpu / wse < 20, dim
+        # Energy: the GPU wins (ratio < 1) — the crossover vs Table 6.
+        assert ratio < 1.0, dim
+
+    for cell in cells:
+        assert 0.2 < cell.measured / cell.paper < 5.0, cell.label

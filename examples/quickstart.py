@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: the PLMR model, mesh kernels, and wafer-scale estimates.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py
+
+Covers the library's three layers:
+
+1. **Device model** — inspect the WSE-2 preset through PLMR eyes.
+2. **Functional kernels** — run MeshGEMM and MeshGEMV on a small
+   simulated mesh and check them against numpy.
+3. **Performance model** — estimate the same kernels at wafer scale and
+   reproduce the paper's compliance analysis (Figures 6 and 8).
+"""
+
+import numpy as np
+
+from repro.core import WSE2, TINY_MESH, compliance_table
+from repro.gemm import CannonGEMM, MeshGEMM, SummaGEMM
+from repro.gemm.base import GemmShape
+from repro.gemv import MeshGEMV, PipelineGEMV
+from repro.mesh import MeshMachine
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The device, in PLMR terms.
+    # ------------------------------------------------------------------
+    print("=== Cerebras WSE-2 through the PLMR model ===")
+    for key, value in WSE2.describe().items():
+        print(f"  {key:24s} {value}")
+    print(f"  local-vs-remote latency variance: ~{WSE2.latency_variance:.0f}x")
+
+    # ------------------------------------------------------------------
+    # 2. Functional execution on a simulated 6x6 mesh.
+    # ------------------------------------------------------------------
+    print("\n=== Functional MeshGEMM on a 6x6 mesh ===")
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((12, 18))
+    b = rng.standard_normal((18, 12))
+    machine = MeshMachine(TINY_MESH.submesh(6, 6))
+    result = MeshGEMM.run(machine, a, b)
+    print(f"  max |error| vs numpy: {np.max(np.abs(result - a @ b)):.2e}")
+    print(f"  trace: {machine.trace.summary()}")
+
+    print("\n=== Functional MeshGEMV (two-way K-tree) on a 6x6 mesh ===")
+    x = rng.standard_normal(18)
+    machine = MeshMachine(TINY_MESH.submesh(6, 6))
+    y = MeshGEMV.run(machine, x, b)
+    print(f"  max |error| vs numpy: {np.max(np.abs(y - x @ b)):.2e}")
+    print(f"  route colours used (R metric): {machine.trace.max_paths_per_core}")
+
+    # ------------------------------------------------------------------
+    # 3. Wafer-scale estimates (the paper's Tables 6-7 shapes).
+    # ------------------------------------------------------------------
+    print("\n=== Estimated 16K x 16K kernels on a 750x750 WSE-2 region ===")
+    region = WSE2.submesh(750)
+    shape = GemmShape.square(16384)
+    for kernel in (MeshGEMM, CannonGEMM, SummaGEMM):
+        cost = kernel.estimate(region, shape)
+        print(f"  {kernel.name:10s} {cost.milliseconds:8.3f} ms "
+              f"(compute {cost.compute_cycles / 1e6:7.2f} M cyc, "
+              f"comm {cost.comm_cycles / 1e6:7.2f} M cyc)")
+    for kernel in (MeshGEMV, PipelineGEMV):
+        cost = kernel.estimate(region, rows=16384, cols=16384)
+        print(f"  {kernel.name:13s} {cost.seconds * 1e6:8.2f} us")
+
+    print("\n=== PLMR compliance (Figures 6 + 8) ===")
+    for report in compliance_table(WSE2):
+        print(f"  {report.verdict_string()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""WaferLLM reproduction: wafer-scale LLM inference on a simulated mesh.
+
+The package reproduces *WaferLLM: A Wafer-Scale LLM Inference System*
+(OSDI 2025) in pure Python:
+
+* :mod:`repro.core` — the PLMR device model and compliance analyses.
+* :mod:`repro.mesh` — the functional wafer-mesh machine and its analytic
+  cycle/energy model (the hardware substitute; see DESIGN.md).
+* :mod:`repro.collectives` — INTERLEAVE, shifts, broadcasts, pipeline /
+  ring / two-way-K-tree reductions.
+* :mod:`repro.gemm` / :mod:`repro.gemv` — MeshGEMM, MeshGEMV and every
+  baseline the paper compares against (Cannon, SUMMA, allgather GEMM,
+  pipeline and ring allreduce GEMV).
+* :mod:`repro.llm` — wafer-scale LLM parallelism: prefill/decode plans,
+  attention variants, shift-based KV cache, end-to-end engine.
+* :mod:`repro.baselines` — T10, Ladder, and A100 (cuBLAS / vLLM) models.
+* :mod:`repro.bench` — the harness regenerating every table and figure
+  of the paper's evaluation.
+
+Quickstart::
+
+    from repro.core import WSE2
+    from repro.gemv import MeshGEMV
+
+    device = WSE2.submesh(64)          # a 64x64 core region
+    cost = MeshGEMV.estimate(device, rows=16384, cols=16384)
+    print(cost.milliseconds)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import PLMRDevice, WSE2
+from repro.errors import (
+    CapacityExceeded,
+    ConfigurationError,
+    KVCacheError,
+    MemoryCapacityError,
+    MessageSizeError,
+    PlacementError,
+    PLMRViolation,
+    ReproError,
+    RoutingResourceError,
+    ShapeError,
+    SimulationError,
+)
+
+__all__ = [
+    "__version__",
+    "PLMRDevice",
+    "WSE2",
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "PLMRViolation",
+    "MemoryCapacityError",
+    "RoutingResourceError",
+    "MessageSizeError",
+    "PlacementError",
+    "SimulationError",
+    "KVCacheError",
+    "CapacityExceeded",
+]

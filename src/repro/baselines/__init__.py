@@ -1,0 +1,14 @@
+"""Baseline systems the paper compares against: T10, Ladder, A100/vLLM."""
+
+from repro.baselines.t10 import T10System
+from repro.baselines.ladder import LadderSystem
+from repro.baselines.gpu import A100, H100, GPUModel, GPUSpec
+
+__all__ = [
+    "T10System",
+    "LadderSystem",
+    "GPUModel",
+    "GPUSpec",
+    "A100",
+    "H100",
+]

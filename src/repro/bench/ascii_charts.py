@@ -1,0 +1,97 @@
+"""ASCII charts for benchmark output: grouped bars and log-scale series.
+
+The paper's Figures 9 and 10 are grouped bar charts of cycle counts.
+Terminals don't do matplotlib, but they do fixed-width art; these
+renderers give benchmark output the same at-a-glance shape the figures
+have — which series dominates, where the crossovers sit — without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def hbar_chart(
+    title: str,
+    values: Dict[str, float],
+    width: int = 48,
+    unit: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Horizontal bars, one per labelled value.
+
+    With ``log_scale=True`` bar lengths follow log10 of the values —
+    the right choice when series span orders of magnitude (as the
+    WaferLLM-vs-Ladder comparisons do).
+    """
+    if not values:
+        raise ConfigurationError("no values to chart")
+    if any(v < 0 for v in values.values()):
+        raise ConfigurationError("bar values must be non-negative")
+
+    def magnitude(value: float) -> float:
+        if not log_scale:
+            return value
+        return math.log10(max(value, 1.0))
+
+    peak = max(magnitude(v) for v in values.values())
+    label_width = max(len(k) for k in values)
+    lines = [title]
+    for label, value in values.items():
+        share = magnitude(value) / peak if peak > 0 else 0.0
+        cells = share * width
+        bar = _BAR * int(cells)
+        if cells - int(cells) >= 0.5:
+            bar += _HALF
+        rendered = f"{value:,.4g}{(' ' + unit) if unit else ''}"
+        lines.append(f"  {label:>{label_width}s} |{bar:<{width}s}| {rendered}")
+    if log_scale:
+        lines.append(f"  {'':>{label_width}s}  (log scale)")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    title: str,
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    log_scale: bool = True,
+) -> str:
+    """Figure-style grouped bars: one block per group, one bar per series."""
+    if not groups or not series:
+        raise ConfigurationError("groups and series must be non-empty")
+    for name, row in series.items():
+        if len(row) != len(groups):
+            raise ConfigurationError(
+                f"series {name!r} has {len(row)} values for "
+                f"{len(groups)} groups"
+            )
+    lines = [title]
+    for idx, group in enumerate(groups):
+        lines.append(f"{group}:")
+        block = {name: row[idx] for name, row in series.items()}
+        chart = hbar_chart("", block, width=width, log_scale=log_scale)
+        lines.extend(chart.splitlines()[1:])
+    return "\n".join(line for line in lines if line.strip() or line == "")
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Eight-level sparkline of a numeric series."""
+    if not values:
+        raise ConfigurationError("no values for sparkline")
+    ramp = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return ramp[0] * len(values)
+    out = []
+    for value in values:
+        idx = int((value - lo) / (hi - lo) * (len(ramp) - 1))
+        out.append(ramp[idx])
+    return "".join(out)

@@ -1,0 +1,87 @@
+"""Report formatting for the benchmark harness.
+
+Benchmarks print the same rows/series the paper reports, side by side
+with the published values, so a reader can eyeball "who wins, by what
+factor, where the crossovers fall" directly from the bench output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One measured value next to its published counterpart."""
+
+    label: str
+    measured: float
+    paper: Optional[float] = None
+    unit: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """measured / paper, when a published value exists."""
+        if self.paper is None or self.paper == 0:
+            return None
+        return self.measured / self.paper
+
+    def row(self) -> List[str]:
+        """Render as table cells."""
+        cells = [self.label, _fmt(self.measured)]
+        if self.paper is not None:
+            cells.append(_fmt(self.paper))
+            cells.append(f"{self.ratio:.2f}x" if self.ratio is not None else "-")
+        else:
+            cells.extend(["-", "-"])
+        if self.unit:
+            cells.append(self.unit)
+        return cells
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000:
+        return f"{value:,.0f}"
+    if magnitude >= 10:
+        return f"{value:.1f}"
+    if magnitude >= 0.01:
+        return f"{value:.3f}"
+    return f"{value:.5f}"
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+) -> str:
+    """Render an aligned plain-text table with a title rule."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            str(cell).ljust(widths[i]) for i, cell in enumerate(cells)
+        ).rstrip()
+
+    rule = "-" * max(len(title), sum(widths) + 2 * max(0, len(widths) - 1))
+    out = [title, rule, line(headers), rule]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def comparison_table(title: str, comparisons: Sequence[Comparison]) -> str:
+    """Standard measured-vs-paper table."""
+    return format_table(
+        title,
+        ["case", "measured", "paper", "measured/paper", "unit"],
+        [c.row() for c in comparisons],
+    )

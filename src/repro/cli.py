@@ -1,0 +1,323 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Everything the benchmark harness computes is reachable from the shell::
+
+    python -m repro devices
+    python -m repro compliance
+    python -m repro table 2              # any of 2..8
+    python -m repro figure 9             # 9 or 10
+    python -m repro gemm --dim 16384 --kernel meshgemm --grid 750
+    python -m repro gemv --dim 16384
+    python -m repro llm --model llama3-8b --seq-in 4096 --seq-out 4096
+    python -m repro autotune --model llama3-8b
+    python -m repro serve --model llama3-8b --requests 16 --batch 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import experiments
+from repro.bench.reporting import Comparison, comparison_table, format_table
+from repro.core import PRESETS, WSE2, compliance_table, get_device
+from repro.gemm import GEMM_KERNELS
+from repro.gemm.base import GemmShape
+from repro.gemv import GEMV_KERNELS
+from repro.llm.autotune import compare_with_paper_configs
+from repro.llm.config import MODELS, get_model
+from repro.llm.projections import resident_decode_projection, width_study
+from repro.llm.quantize import quantized_config
+from repro.runtime.memory_audit import audit_model, required_layer_subset
+from repro.llm.wafer_system import WaferLLMSystem
+from repro.serving import ContinuousBatchingServer, Request
+
+TABLE_RUNNERS = {
+    2: experiments.run_table2,
+    3: experiments.run_table3,
+    4: experiments.run_table4,
+    5: experiments.run_table5,
+    6: experiments.run_table6,
+    7: experiments.run_table7,
+    8: experiments.run_table8,
+}
+FIGURE_RUNNERS = {9: experiments.run_figure9, 10: experiments.run_figure10}
+
+
+def _print_cells(title: str, cells) -> None:
+    comparisons = [Comparison(c.label, c.measured, c.paper) for c in cells]
+    print(comparison_table(title, comparisons))
+
+
+def cmd_devices(_args) -> int:
+    rows = []
+    for device in PRESETS.values():
+        summary = device.describe()
+        rows.append([
+            summary["name"], f"{summary['P (cores)']:,}",
+            summary["L (max axis hops)"],
+            f"{summary['M (bytes/core)'] // 1024} KiB",
+            summary["R (paths/core)"],
+            f"{summary['total memory (GB)']:.1f} GB",
+        ])
+    print(format_table("PLMR device presets",
+                       ["device", "P", "L", "M", "R", "memory"], rows))
+    return 0
+
+
+def cmd_compliance(args) -> int:
+    device = get_device(args.device)
+    rows = []
+    for report in compliance_table(device):
+        rows.append([
+            report.algorithm,
+            f"{report.paths_per_core:.0f}",
+            f"{report.critical_path_hops:.0f}",
+            f"{report.memory_factor:.0f}",
+            report.verdict_string().split(": ", 1)[1],
+        ])
+    print(format_table(f"PLMR compliance on {device.name} (Figures 6+8)",
+                       ["algorithm", "paths/core", "critical hops",
+                        "mem factor", "verdict"], rows))
+    return 0
+
+
+def cmd_table(args) -> int:
+    runner = TABLE_RUNNERS.get(args.number)
+    if runner is None:
+        print(f"unknown table {args.number}; choose from 2-8", file=sys.stderr)
+        return 2
+    _print_cells(f"Table {args.number} (measured vs paper)", runner())
+    return 0
+
+
+def cmd_figure(args) -> int:
+    runner = FIGURE_RUNNERS.get(args.number)
+    if runner is None:
+        print(f"unknown figure {args.number}; choose 9 or 10", file=sys.stderr)
+        return 2
+    cells = runner()
+    rows = [[c.label, f"{c.measured:,.0f}",
+             f"{c.extra['compute_cycles']:,.0f}",
+             f"{c.extra['comm_cycles']:,.0f}"] for c in cells]
+    print(format_table(f"Figure {args.number} (cycles)",
+                       ["case", "total", "compute", "comm"], rows))
+    return 0
+
+
+def cmd_gemm(args) -> int:
+    device = get_device(args.device)
+    kernel = GEMM_KERNELS.get(args.kernel)
+    if kernel is None:
+        print(f"unknown kernel {args.kernel}; choose from "
+              f"{sorted(GEMM_KERNELS)}", file=sys.stderr)
+        return 2
+    grid = args.grid or min(device.mesh_width, device.mesh_height, args.dim)
+    cost = kernel.estimate(device, GemmShape.square(args.dim), grid)
+    print(f"{kernel.name} {args.dim}x{args.dim} on {grid}x{grid} "
+          f"{device.name}: {cost.milliseconds:.4f} ms "
+          f"({cost.compute_cycles:,.0f} compute / "
+          f"{cost.comm_cycles:,.0f} comm cycles, "
+          f"{cost.energy_joules:.2f} J)")
+    return 0
+
+
+def cmd_gemv(args) -> int:
+    device = get_device(args.device)
+    kernel = GEMV_KERNELS.get(args.kernel)
+    if kernel is None:
+        print(f"unknown kernel {args.kernel}; choose from "
+              f"{sorted(GEMV_KERNELS)}", file=sys.stderr)
+        return 2
+    grid = args.grid or min(device.mesh_width, device.mesh_height, args.dim)
+    cost = kernel.estimate(device, rows=args.dim, cols=args.dim, grid=grid)
+    print(f"{kernel.name} [1,{args.dim}]x[{args.dim},{args.dim}] on "
+          f"{grid}x{grid} {device.name}: {cost.seconds * 1e6:.3f} us "
+          f"({cost.energy_joules * 1e3:.3f} mJ)")
+    return 0
+
+
+def cmd_llm(args) -> int:
+    device = get_device(args.device)
+    model = get_model(args.model)
+    system = WaferLLMSystem(device)
+    result = system.generation(model, args.seq_in, args.seq_out)
+    rows = [
+        ["prefill", f"{result.prefill_seconds * 1e3:.1f} ms"],
+        ["decode", f"{result.decode_seconds:.3f} s"],
+        ["throughput", f"{result.throughput_tokens_per_s:.1f} tok/s"],
+        ["decode rate", f"{result.decode_tokens_per_s:.1f} tok/s"],
+        ["energy", f"{result.energy_joules:.1f} J "
+                   f"({result.tokens_per_joule:.4f} tok/J)"],
+    ]
+    print(format_table(
+        f"{model.name} {args.seq_in}/{args.seq_out} on {device.name}",
+        ["metric", "value"], rows))
+    return 0
+
+
+def cmd_autotune(args) -> int:
+    device = get_device(args.device)
+    model = get_model(args.model)
+    report = compare_with_paper_configs(model, device)
+    rows = []
+    for source in ("paper", "autotuned"):
+        entry = report[source]
+        rows.append([
+            source, entry["prefill_grid"], entry["decode_grid"],
+            f"{entry['prefill_tok_s']:,.0f}", f"{entry['decode_tok_s']:,.0f}",
+        ])
+    print(format_table(f"parallelism configuration for {model.name}",
+                       ["source", "prefill grid", "decode grid",
+                        "prefill tok/s", "decode tok/s"], rows))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    device = get_device(args.device)
+    rows = []
+    for name in sorted(MODELS):
+        if name.startswith("tiny"):
+            continue
+        model = get_model(name)
+        if args.int8:
+            model = quantized_config(model, 8)
+        audit = audit_model(model, device)
+        rows.append([
+            model.name,
+            f"{audit.weights_per_core / 1024:.1f} KiB",
+            f"{audit.kv_budget_per_core / 1024:.1f} KiB",
+            "yes" if audit.fits_end_to_end else
+            f"no ({required_layer_subset(model, device)} layers fit)",
+        ])
+    print(format_table(f"memory audit on {device.name}",
+                       ["model", "weights/core", "KV budget/core",
+                        "fits end-to-end"], rows))
+    return 0
+
+
+def cmd_project(args) -> int:
+    device = get_device(args.device)
+    model = get_model(args.model)
+    projection = resident_decode_projection(model, device,
+                                            args.region or 375)
+    rows = [
+        ["decode today", f"{projection.current_tokens_per_s:,.0f} tok/s"],
+        ["pipeline stages", str(projection.stages)],
+        ["resident projection",
+         f"{projection.projected_tokens_per_s:,.0f} tok/s"],
+    ]
+    for row in width_study(model, device, args.region or 375,
+                           factors=(2.0, 4.0)):
+        rows.append([
+            f"wider {row['factor']:g}x ({row['layers']} layers)",
+            f"{row['decode_tok_s']:,.0f} tok/s",
+        ])
+    print(format_table(f"Section 8 projections for {model.name}",
+                       ["scenario", "value"], rows))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    device = get_device(args.device)
+    model = get_model(args.model)
+    server = ContinuousBatchingServer(model, device, max_batch=args.batch)
+    requests = [
+        Request(i, seq_in=args.seq_in, seq_out=args.seq_out,
+                arrival_s=i * args.interval)
+        for i in range(args.requests)
+    ]
+    report = server.serve(requests)
+    rows = [
+        ["requests", str(args.requests)],
+        ["peak batch", str(report.peak_batch)],
+        ["makespan", f"{report.makespan_s:.2f} s"],
+        ["throughput", f"{report.throughput_tokens_per_s:,.0f} tok/s"],
+        ["mean latency", f"{report.mean_latency_s:.2f} s"],
+        ["p99 latency", f"{report.p99_latency_s:.2f} s"],
+    ]
+    print(format_table(f"serving {model.name} on {device.name}",
+                       ["metric", "value"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="WaferLLM reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list PLMR device presets") \
+        .set_defaults(func=cmd_devices)
+
+    p = sub.add_parser("compliance", help="Figure 6/8 compliance analysis")
+    p.add_argument("--device", default=WSE2.name)
+    p.set_defaults(func=cmd_compliance)
+
+    p = sub.add_parser("table", help="regenerate a paper table (2-8)")
+    p.add_argument("number", type=int)
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure (9/10)")
+    p.add_argument("number", type=int)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("gemm", help="estimate a distributed GEMM")
+    p.add_argument("--dim", type=int, default=16384)
+    p.add_argument("--grid", type=int, default=None)
+    p.add_argument("--kernel", default="meshgemm")
+    p.add_argument("--device", default=WSE2.name)
+    p.set_defaults(func=cmd_gemm)
+
+    p = sub.add_parser("gemv", help="estimate a distributed GEMV")
+    p.add_argument("--dim", type=int, default=16384)
+    p.add_argument("--grid", type=int, default=None)
+    p.add_argument("--kernel", default="meshgemv")
+    p.add_argument("--device", default=WSE2.name)
+    p.set_defaults(func=cmd_gemv)
+
+    p = sub.add_parser("llm", help="estimate end-to-end LLM inference")
+    p.add_argument("--model", default="llama3-8b")
+    p.add_argument("--seq-in", type=int, default=4096)
+    p.add_argument("--seq-out", type=int, default=4096)
+    p.add_argument("--device", default=WSE2.name)
+    p.set_defaults(func=cmd_llm)
+
+    p = sub.add_parser("autotune", help="search parallelism configuration")
+    p.add_argument("--model", default="llama3-8b")
+    p.add_argument("--device", default=WSE2.name)
+    p.set_defaults(func=cmd_autotune)
+
+    p = sub.add_parser("audit", help="memory audit of the paper's models")
+    p.add_argument("--device", default=WSE2.name)
+    p.add_argument("--int8", action="store_true",
+                   help="audit int8-quantized variants")
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("project", help="Section 8 future projections")
+    p.add_argument("--model", default="llama2-13b")
+    p.add_argument("--device", default=WSE2.name)
+    p.add_argument("--region", type=int, default=None)
+    p.set_defaults(func=cmd_project)
+
+    p = sub.add_parser("serve", help="simulate multi-request serving")
+    p.add_argument("--model", default="llama3-8b")
+    p.add_argument("--device", default=WSE2.name)
+    p.add_argument("--requests", type=int, default=8)
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--seq-in", type=int, default=1024)
+    p.add_argument("--seq-out", type=int, default=256)
+    p.add_argument("--interval", type=float, default=0.05)
+    p.set_defaults(func=cmd_serve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2

@@ -1,0 +1,114 @@
+"""The INTERLEAVE operation (paper Algorithm 1, Section 5.2).
+
+A cyclic shift over ``n`` cores laid out on a physical line has one fatal
+edge: the wraparound from the last core back to the first spans ``n - 1``
+hops, which is exactly the L-property violation that makes Cannon's
+algorithm non-scalable on a mesh (Figure 6, case 3).
+
+INTERLEAVE fixes this by *placing the logical ring on the physical line
+folded in half*: logical core ``i`` sits at physical position ``2i`` on
+the way out and comes back on the odd positions.  Every pair of logically
+adjacent cores is then at most **two** physical hops apart, and the paper
+proves two hops is optimal — a circular sequence in which every neighbour
+differs by one physical position cannot close back on itself.
+
+For ``n = 5`` the physical line holds logicals ``[0, 4, 1, 3, 2]``, which
+matches the paper's Figure 7 walkthrough: physical core 2 (logical 1)
+sends to physical core 4 (logical 2) and receives from physical core 0
+(logical 0).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def interleave_placement(n: int) -> List[int]:
+    """Physical position of each logical ring index (logical -> physical).
+
+    ``placement[i]`` is the physical line position of logical core ``i``:
+    ``2i`` while ``2i < n``, then folding back onto the odd positions.
+
+    >>> interleave_placement(5)
+    [0, 2, 4, 3, 1]
+    """
+    if n < 1:
+        raise ConfigurationError(f"ring size must be positive, got {n}")
+    placement = []
+    for i in range(n):
+        if 2 * i < n:
+            placement.append(2 * i)
+        else:
+            placement.append(2 * (n - 1 - i) + 1)
+    return placement
+
+
+def identity_placement(n: int) -> List[int]:
+    """The trivial logical == physical placement (what Cannon uses)."""
+    if n < 1:
+        raise ConfigurationError(f"ring size must be positive, got {n}")
+    return list(range(n))
+
+
+def inverse_placement(placement: List[int]) -> List[int]:
+    """Logical index held at each physical position (physical -> logical)."""
+    n = len(placement)
+    inverse = [-1] * n
+    for logical, physical in enumerate(placement):
+        if not 0 <= physical < n or inverse[physical] != -1:
+            raise ConfigurationError(f"{placement} is not a permutation of 0..{n - 1}")
+        inverse[physical] = logical
+    return inverse
+
+
+def interleave(index: int, n: int) -> Tuple[int, int]:
+    """Algorithm 1: neighbour physical indices for a cyclic shift.
+
+    Given a core's *physical* ``index`` on a line of ``n`` cores, return
+    ``(send_index, recv_index)``: the physical cores it sends to and
+    receives from when the logical ring shifts by +1.
+
+    >>> interleave(2, 5)
+    (4, 0)
+    """
+    if not 0 <= index < n:
+        raise ConfigurationError(f"index {index} out of range for n={n}")
+    placement = interleave_placement(n)
+    logical_at = inverse_placement(placement)
+    logical = logical_at[index]
+    send_index = placement[(logical + 1) % n]
+    recv_index = placement[(logical - 1) % n]
+    return send_index, recv_index
+
+
+def ring_dilation(placement: List[int]) -> int:
+    """Largest physical distance between logically adjacent ring cores.
+
+    This is the per-step critical path of a cyclic shift under the given
+    placement: ``n - 1`` for the identity, ``2`` after INTERLEAVE.
+    """
+    n = len(placement)
+    if n == 1:
+        return 0
+    return max(
+        abs(placement[i] - placement[(i + 1) % n]) for i in range(n)
+    )
+
+
+def shift_mapping_1d(placement: List[int], offset: int) -> List[int]:
+    """Physical destination of each physical position for a logical shift.
+
+    ``mapping[p]`` is the physical position that receives the tile
+    currently at physical position ``p`` when every tile moves ``offset``
+    positions around the *logical* ring (positive = toward higher logical
+    index).
+    """
+    n = len(placement)
+    logical_at = inverse_placement(placement)
+    mapping = [0] * n
+    for p in range(n):
+        logical = logical_at[p]
+        mapping[p] = placement[(logical + offset) % n]
+    return mapping

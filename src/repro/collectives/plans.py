@@ -1,0 +1,126 @@
+"""Analytic phase plans for the reduction collectives.
+
+Each builder mirrors the step structure of its functional twin in
+:mod:`repro.collectives.allreduce` exactly — same stage counts, same hop
+distances — so the cost model charges for what the machine actually does.
+The unit tests cross-check builders against functional traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.collectives.allreduce import ktree_group_sizes
+from repro.mesh.cost_model import CommPhase, Phase, ReducePhase
+
+
+def pipeline_reduce_plan(
+    length: int, payload_bytes: float, payload_elems: float
+) -> List[Phase]:
+    """Linear chain: ``length - 1`` sequential one-hop add stages."""
+    if length <= 1:
+        return []
+    return [
+        ReducePhase(
+            label="pipeline-reduce",
+            stages=length - 1,
+            stage_hop_distance=1.0,
+            payload_bytes=payload_bytes,
+            stage_add_elems=payload_elems,
+        )
+    ]
+
+
+def ring_allreduce_plan(
+    length: int, payload_bytes: float, payload_elems: float
+) -> List[Phase]:
+    """Ring reduce-scatter + allgather: ``2(length - 1)`` chunk steps.
+
+    Chunks are ``1/length`` of the payload; the ring's wraparound edge
+    makes the per-step worst hop the full line length on a mesh (no torus
+    links), which is charged on every step through ``stage_hop_distance``.
+    """
+    if length <= 1:
+        return []
+    chunk_bytes = payload_bytes / length
+    chunk_elems = payload_elems / length
+    return [
+        ReducePhase(
+            label="ring-reduce-scatter",
+            stages=length - 1,
+            stage_hop_distance=float(length - 1),
+            payload_bytes=chunk_bytes,
+            stage_add_elems=chunk_elems,
+            pipelined=False,
+        ),
+        ReducePhase(
+            label="ring-allgather",
+            stages=length - 1,
+            stage_hop_distance=float(length - 1),
+            payload_bytes=chunk_bytes,
+            stage_add_elems=0.0,
+            pipelined=False,
+        ),
+    ]
+
+
+def ktree_reduce_plan(
+    length: int, payload_bytes: float, payload_elems: float, k: int = 2
+) -> List[Phase]:
+    """Two-way K-tree: per level, ``ceil(group/2)`` stages of growing span.
+
+    Stage counts mirror :func:`~repro.collectives.allreduce.ktree_reduce`:
+    with group size ``g`` and root at ``g // 2`` the two frontiers take
+    ``max(g // 2, g - 1 - g // 2)`` stages; active cores at level ``l``
+    are spaced ``g**(l-1)`` positions apart, so that is the per-stage hop
+    distance.
+    """
+    if length <= 1:
+        return []
+    sizes = ktree_group_sizes(length, k)
+    phases: List[Phase] = []
+    spacing = 1.0
+    remaining = length
+    for level, group in enumerate(sizes, start=1):
+        size = min(group, remaining)
+        root = size // 2
+        stages = max(root, size - 1 - root)
+        if stages > 0:
+            phases.append(
+                ReducePhase(
+                    label=f"ktree-L{level}",
+                    stages=stages,
+                    stage_hop_distance=spacing,
+                    payload_bytes=payload_bytes,
+                    stage_add_elems=payload_elems,
+                )
+            )
+        spacing *= group
+        remaining = math.ceil(remaining / group)
+    return phases
+
+
+def root_broadcast_plan(length: int, payload_bytes: float) -> List[Phase]:
+    """Multicast from a line's root back to the whole line: one phase."""
+    if length <= 1:
+        return []
+    return [
+        CommPhase(
+            label="root-broadcast",
+            hop_distance=float(length - 1),
+            payload_bytes=payload_bytes,
+        )
+    ]
+
+
+def ktree_stage_count(length: int, k: int = 2) -> int:
+    """Total sequential add stages of the K-tree (its L metric)."""
+    total = 0
+    remaining = length
+    for group in ktree_group_sizes(length, k):
+        size = min(group, remaining)
+        root = size // 2
+        total += max(root, size - 1 - root)
+        remaining = math.ceil(remaining / group)
+    return total

@@ -1,0 +1,38 @@
+"""Core of the reproduction: the PLMR device model and compliance tools."""
+
+from repro.core.plmr import PLMRDevice, square_mesh_for
+from repro.core.device_presets import (
+    DOJO_LIKE,
+    IPU_LIKE,
+    PRESETS,
+    TENSTORRENT_LIKE,
+    TINY_MESH,
+    WSE2,
+    WSE3,
+    get_device,
+)
+from repro.core.compliance import (
+    ALL_PROFILES,
+    ComplianceReport,
+    ScalingProfile,
+    compliance_table,
+    grade,
+)
+
+__all__ = [
+    "PLMRDevice",
+    "square_mesh_for",
+    "WSE2",
+    "WSE3",
+    "DOJO_LIKE",
+    "TENSTORRENT_LIKE",
+    "IPU_LIKE",
+    "TINY_MESH",
+    "PRESETS",
+    "get_device",
+    "ScalingProfile",
+    "ComplianceReport",
+    "grade",
+    "compliance_table",
+    "ALL_PROFILES",
+]

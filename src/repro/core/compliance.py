@@ -1,0 +1,244 @@
+"""PLMR compliance metrics and grading (paper Sections 5.1 and 6.1).
+
+The paper compares distributed GEMM/GEMV algorithms on three metrics:
+
+* **paths per core** — how many simultaneous routing paths each core
+  needs; bounded paths satisfy the R property.
+* **critical path** — the longest per-step communication path in hops
+  (GEMM) or the number of add-operations on the longest aggregation path
+  (GEMV); short critical paths satisfy the L property.
+* **memory per core** — the fraction of the problem resident on one core;
+  ``O(1/N^2)`` (just the local submatrices) satisfies the M property.
+
+This module expresses those metrics as symbolic *scaling profiles*
+(:class:`ScalingProfile`) so that the Figure 6 / Figure 8 analyses can be
+evaluated for any mesh size, and provides :func:`grade`, which turns a
+profile into pass/fail verdicts for a concrete :class:`PLMRDevice` —
+reproducing the paper's compliance tables.
+
+Profiles here are *claims*; the functional kernels measure the same
+quantities at runtime (see ``repro.mesh.trace``), and the test suite
+asserts that measurement matches claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.plmr import PLMRDevice
+
+#: A function of the per-axis core count N returning a metric value.
+MetricFn = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class ScalingProfile:
+    """Symbolic PLMR scaling behaviour of a distributed algorithm.
+
+    Parameters are functions of ``n``, the per-axis core count of the
+    (square) mesh the algorithm runs on.
+
+    Attributes
+    ----------
+    name:
+        Algorithm name (e.g. ``"meshgemm"``).
+    kind:
+        ``"gemm"`` or ``"gemv"``.
+    paths_per_core:
+        Routing paths required at the busiest core.
+    critical_path_hops:
+        Longest communication path per step, in hops (GEMM), or number of
+        add-operations on the longest aggregation path (GEMV).
+    memory_factor:
+        Per-core working-set size as a multiple of one ``1/n^2`` tile of
+        the problem (1.0 = only the local submatrices; ``n`` = an entire
+        row/column strip as in allgather).
+    notes:
+        One-line description of the communication pattern.
+    """
+
+    name: str
+    kind: str
+    paths_per_core: MetricFn
+    critical_path_hops: MetricFn
+    memory_factor: MetricFn
+    notes: str = ""
+
+    def evaluate(self, n: int) -> Dict[str, float]:
+        """Evaluate all metrics at per-axis core count ``n``."""
+        return {
+            "paths_per_core": self.paths_per_core(n),
+            "critical_path_hops": self.critical_path_hops(n),
+            "memory_factor": self.memory_factor(n),
+        }
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """Pass/fail verdicts of one algorithm on one device."""
+
+    algorithm: str
+    n: int
+    paths_per_core: float
+    critical_path_hops: float
+    memory_factor: float
+    satisfies_r: bool
+    satisfies_l: bool
+    satisfies_m: bool
+
+    @property
+    def fully_compliant(self) -> bool:
+        """True when all of L, M and R hold."""
+        return self.satisfies_r and self.satisfies_l and self.satisfies_m
+
+    def verdict_string(self) -> str:
+        """Render as the paper's check/cross style, e.g. ``L:x M:ok R:ok``."""
+        def mark(ok: bool) -> str:
+            return "ok" if ok else "VIOLATED"
+
+        return (
+            f"{self.algorithm}@{self.n}x{self.n}: "
+            f"L:{mark(self.satisfies_l)} "
+            f"M:{mark(self.satisfies_m)} "
+            f"R:{mark(self.satisfies_r)}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Profiles from Figure 6 (distributed GEMM)
+# ---------------------------------------------------------------------------
+
+ALLGATHER_GEMM = ScalingProfile(
+    name="allgather-gemm",
+    kind="gemm",
+    paths_per_core=lambda n: float(n),
+    critical_path_hops=lambda n: float(n - 1),
+    memory_factor=lambda n: float(n),
+    notes="each core gathers a full row/column strip before computing",
+)
+
+SUMMA = ScalingProfile(
+    name="summa",
+    kind="gemm",
+    paths_per_core=lambda n: float(n),
+    critical_path_hops=lambda n: float(n - 1),
+    memory_factor=lambda n: 2.0,
+    notes="per-step row/column broadcast from the pivot core",
+)
+
+CANNON = ScalingProfile(
+    name="cannon",
+    kind="gemm",
+    paths_per_core=lambda n: 2.0,
+    critical_path_hops=lambda n: float(n - 1),
+    memory_factor=lambda n: 1.0,
+    notes="torus cyclic shift; the wraparound edge spans the whole axis",
+)
+
+MESHGEMM = ScalingProfile(
+    name="meshgemm",
+    kind="gemm",
+    paths_per_core=lambda n: 2.0,
+    critical_path_hops=lambda n: 2.0 if n > 2 else 1.0,
+    memory_factor=lambda n: 1.0,
+    notes="interleaved cyclic shift bounds every transfer to two hops",
+)
+
+# ---------------------------------------------------------------------------
+# Profiles from Figure 8 (distributed GEMV / allreduce)
+# ---------------------------------------------------------------------------
+
+PIPELINE_GEMV = ScalingProfile(
+    name="pipeline-allreduce-gemv",
+    kind="gemv",
+    paths_per_core=lambda n: 1.0,
+    critical_path_hops=lambda n: float(n - 1),
+    memory_factor=lambda n: 1.0,
+    notes="linear reduce along the axis; tail-to-head aggregation",
+)
+
+RING_GEMV = ScalingProfile(
+    name="ring-allreduce-gemv",
+    kind="gemv",
+    paths_per_core=lambda n: 1.0,
+    critical_path_hops=lambda n: float(n - 1),
+    memory_factor=lambda n: 1.0,
+    notes="ring reduce-scatter + allgather; O(N) sequential steps",
+)
+
+
+def _ktree_critical_path(n: int, k: int = 2) -> float:
+    """Adds on the longest aggregation path of a two-way K-tree.
+
+    A K-level tree over ``n`` cores uses groups of ``ceil(n ** (1/k))``;
+    reducing a group from both directions toward its root takes
+    ``ceil(group/2)`` sequential adds, and there are ``k`` levels.
+    """
+    if n <= 1:
+        return 0.0
+    group = max(2, math.ceil(n ** (1.0 / k)))
+    per_level = math.ceil(group / 2)
+    return float(k * per_level)
+
+
+KTREE_GEMV = ScalingProfile(
+    name="ktree-allreduce-gemv",
+    kind="gemv",
+    paths_per_core=lambda n: 3.0,  # K + 1 at a root, K = 2
+    critical_path_hops=_ktree_critical_path,
+    memory_factor=lambda n: 1.0,
+    notes="two-way K-tree: K levels of group reductions from both ends",
+)
+
+GEMM_PROFILES: List[ScalingProfile] = [ALLGATHER_GEMM, SUMMA, CANNON, MESHGEMM]
+GEMV_PROFILES: List[ScalingProfile] = [PIPELINE_GEMV, RING_GEMV, KTREE_GEMV]
+ALL_PROFILES: Dict[str, ScalingProfile] = {
+    p.name: p for p in GEMM_PROFILES + GEMV_PROFILES
+}
+
+#: Hop threshold above which we consider the L property violated: the
+#: paper's compliant algorithms keep per-step paths O(1); anything growing
+#: with the mesh fails.  We use a small constant slack over the symbolic
+#: O(1) bound so K-tree (O(K * N^(1/K))) is judged against the device size.
+_L_CONSTANT_BOUND = 8.0
+
+
+def grade(
+    profile: ScalingProfile,
+    device: PLMRDevice,
+    n: int | None = None,
+) -> ComplianceReport:
+    """Grade an algorithm profile against a device (Figure 6/8 verdicts).
+
+    L passes when the critical path is asymptotically sub-linear enough to
+    stay below ``sqrt(n) * constant`` at the device's scale (this admits
+    the K-tree's ``O(K * N^(1/K))`` and MeshGEMM's ``O(1)`` while failing
+    every ``O(N)`` scheme on large meshes).  M passes when the working set
+    stays within a small constant multiple of the tile size.  R passes when
+    paths per core fit the device's routing budget.
+    """
+    if n is None:
+        n = min(device.mesh_width, device.mesh_height)
+    metrics = profile.evaluate(n)
+    l_bound = max(_L_CONSTANT_BOUND, math.sqrt(n) * 2.0)
+    return ComplianceReport(
+        algorithm=profile.name,
+        n=n,
+        paths_per_core=metrics["paths_per_core"],
+        critical_path_hops=metrics["critical_path_hops"],
+        memory_factor=metrics["memory_factor"],
+        satisfies_r=metrics["paths_per_core"] <= device.max_paths_per_core,
+        satisfies_l=metrics["critical_path_hops"] <= l_bound,
+        satisfies_m=metrics["memory_factor"] <= 2.0,
+    )
+
+
+def compliance_table(device: PLMRDevice, n: int | None = None) -> List[ComplianceReport]:
+    """Grade every registered algorithm on ``device``.
+
+    Returns the reproduction of the paper's Figure 6 + Figure 8 compliance
+    analyses as a list of reports, GEMM algorithms first.
+    """
+    return [grade(p, device, n) for p in GEMM_PROFILES + GEMV_PROFILES]

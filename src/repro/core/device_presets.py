@@ -1,0 +1,153 @@
+"""Calibrated PLMR device presets.
+
+``WSE2`` is the device all paper experiments run on; its parameters come
+from the experiment-setup paragraph of Section 7 and the Cerebras
+architecture paper [Lie, IEEE Micro 2023]:
+
+* 850,000 usable cores; the fabric is roughly 990 x 860 with some rows
+  reserved, and the paper's experiments use square sub-meshes up to
+  750 x 750.
+* 1.1 GHz clock; each cycle a core fetches two 32-bit operands, performs a
+  multiply-accumulate and writes back.  At fp16 the datapath is 4-way
+  SIMD on two operand pairs, which we model as 2 fp16 MACs per cycle
+  (the calibration that reproduces the paper's GEMM latencies).
+* 48 KB SRAM per core, 40 GB aggregate.
+* The fabric router moves one 32-bit wavelet per cycle per link and adds
+  one cycle per hop.
+
+The other presets exist to show the PLMR model generalises (Section 3.1
+and Section 8): WSE-3, a Dojo-like device with fewer, larger cores, a
+Tenstorrent-like mesh chip, and an IPU-like crossbar device (the T10
+target, with hop-invariant latency approximated by ``hop_cycles = 0``
+plus a fixed fabric latency folded into the cost model).
+
+Power calibration: energy ratios in Tables 6-8 are whole-device power
+multiplied by time.  ``P(WSE-2) = 15 kW`` and ``P(A100) = 555 W`` (board
+plus host share) reproduce the paper's published ratios to within a few
+per cent; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.core.plmr import PLMRDevice
+
+#: Cerebras WSE-2, the paper's evaluation platform.
+WSE2 = PLMRDevice(
+    name="cerebras-wse2",
+    mesh_width=990,
+    mesh_height=860,
+    core_memory_bytes=48 * 1024,
+    clock_hz=1.1e9,
+    macs_per_cycle=2.0,
+    hop_cycles=1.0,
+    link_bytes_per_cycle=4.0,
+    message_bytes=4,
+    max_paths_per_core=8,
+    noc_pj_per_bit_per_hop=0.1,
+    sram_pj_per_bit=0.06,
+    mac_pj=2.2,
+    device_power_w=15000.0,
+)
+
+#: Cerebras WSE-3: ~2x core efficiency (Section 7.5), 900k cores, 44 GB.
+WSE3 = PLMRDevice(
+    name="cerebras-wse3",
+    mesh_width=1020,
+    mesh_height=890,
+    core_memory_bytes=48 * 1024,
+    clock_hz=1.1e9,
+    macs_per_cycle=4.0,
+    hop_cycles=1.0,
+    link_bytes_per_cycle=4.0,
+    message_bytes=4,
+    max_paths_per_core=8,
+    noc_pj_per_bit_per_hop=0.08,
+    sram_pj_per_bit=0.05,
+    mac_pj=1.1,
+    device_power_w=17000.0,
+)
+
+#: Tesla-Dojo-like: fewer, beefier cores with MBs of SRAM (Section 8).
+DOJO_LIKE = PLMRDevice(
+    name="dojo-like",
+    mesh_width=354,
+    mesh_height=250,
+    core_memory_bytes=1280 * 1024,
+    clock_hz=2.0e9,
+    macs_per_cycle=512.0,
+    hop_cycles=1.0,
+    link_bytes_per_cycle=8.0,
+    message_bytes=64,
+    max_paths_per_core=16,
+    noc_pj_per_bit_per_hop=0.15,
+    sram_pj_per_bit=0.08,
+    mac_pj=0.9,
+    device_power_w=15000.0,
+)
+
+#: Tenstorrent-Blackhole-like mesh NoC chip (non-wafer PLMR device).
+TENSTORRENT_LIKE = PLMRDevice(
+    name="tenstorrent-like",
+    mesh_width=14,
+    mesh_height=10,
+    core_memory_bytes=1536 * 1024,
+    clock_hz=1.35e9,
+    macs_per_cycle=2048.0,
+    hop_cycles=1.0,
+    link_bytes_per_cycle=32.0,
+    message_bytes=64,
+    max_paths_per_core=16,
+    noc_pj_per_bit_per_hop=0.5,
+    sram_pj_per_bit=0.1,
+    mac_pj=0.5,
+    device_power_w=300.0,
+)
+
+#: GraphCore-IPU-like crossbar device — T10's native target. hop_cycles=0
+#: models the constant-latency exchange (L is flat), which is exactly the
+#: assumption T10 carries over, incorrectly, to mesh devices.
+IPU_LIKE = PLMRDevice(
+    name="ipu-like-crossbar",
+    mesh_width=48,
+    mesh_height=31,
+    core_memory_bytes=624 * 1024,
+    clock_hz=1.33e9,
+    macs_per_cycle=64.0,
+    hop_cycles=0.0,
+    link_bytes_per_cycle=8.0,
+    message_bytes=32,
+    max_paths_per_core=8,
+    noc_pj_per_bit_per_hop=0.4,
+    sram_pj_per_bit=0.1,
+    mac_pj=1.0,
+    device_power_w=300.0,
+)
+
+#: Small test device used throughout the unit tests: a 8x8 mesh with tiny
+#: memories so M/R violations are easy to trigger deliberately.
+TINY_MESH = PLMRDevice(
+    name="tiny-test-mesh",
+    mesh_width=8,
+    mesh_height=8,
+    core_memory_bytes=64 * 1024,
+    clock_hz=1.0e9,
+    macs_per_cycle=1.0,
+    hop_cycles=1.0,
+    link_bytes_per_cycle=4.0,
+    message_bytes=4,
+    max_paths_per_core=6,
+)
+
+PRESETS = {
+    device.name: device
+    for device in (WSE2, WSE3, DOJO_LIKE, TENSTORRENT_LIKE, IPU_LIKE, TINY_MESH)
+}
+
+
+def get_device(name: str) -> PLMRDevice:
+    """Look up a preset by name, raising ``KeyError`` with suggestions."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(f"unknown device {name!r}; known presets: {known}") from None

@@ -1,0 +1,101 @@
+"""Exception hierarchy for the WaferLLM reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without swallowing programming errors
+(``TypeError``, ``ValueError`` raised by numpy, and so on).
+
+The PLMR-violation errors mirror the four properties of the device model
+from the paper (Section 3.1): code that breaks the Memory (M) or Routing (R)
+constraints of a simulated device fails *loudly* instead of silently
+producing results a real wafer could never compute.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class ShapeError(ReproError):
+    """Tensor or tile shapes do not satisfy a kernel's requirements."""
+
+
+class PLMRViolation(ReproError):
+    """Base class for violations of the PLMR device model."""
+
+
+class MemoryCapacityError(PLMRViolation):
+    """A core exceeded its local memory capacity (the M property).
+
+    Raised by :class:`repro.mesh.core_sim.Core` when the sum of resident
+    tile bytes would exceed the core's SRAM budget.
+    """
+
+    def __init__(self, coord, requested: int, capacity: int, resident: int):
+        self.coord = coord
+        self.requested = requested
+        self.capacity = capacity
+        self.resident = resident
+        super().__init__(
+            f"core {coord}: allocating {requested} B would exceed the "
+            f"{capacity} B local memory capacity ({resident} B already resident)"
+        )
+
+
+class RoutingResourceError(PLMRViolation):
+    """A core exceeded its routing-path budget (the R property).
+
+    Wafer-scale NoCs encode routes in a handful of header bits, so each core
+    may only participate in a small number of distinct communication paths
+    (colours).  The fabric model raises this error when a communication plan
+    asks a core for more simultaneous paths than the device provides.
+    """
+
+    def __init__(self, coord, requested: int, limit: int):
+        self.coord = coord
+        self.requested = requested
+        self.limit = limit
+        super().__init__(
+            f"core {coord}: plan requires {requested} routing paths but the "
+            f"device only provides {limit}"
+        )
+
+
+class MessageSizeError(PLMRViolation):
+    """A single NoC message exceeded the fabric's message-size limit."""
+
+    def __init__(self, nbytes: int, limit: int):
+        self.nbytes = nbytes
+        self.limit = limit
+        super().__init__(
+            f"message of {nbytes} B exceeds the {limit} B NoC message limit; "
+            f"large transfers must be streamed as wavelets"
+        )
+
+
+class PlacementError(ReproError):
+    """A tensor layout or placement request is invalid for the mesh."""
+
+
+class SimulationError(ReproError):
+    """The functional mesh machine reached an inconsistent state."""
+
+
+class KVCacheError(ReproError):
+    """KV-cache management failed (e.g. capacity exhausted)."""
+
+
+class CapacityExceeded(KVCacheError):
+    """The KV cache cannot accept another token without violating M."""
+
+    def __init__(self, tokens_stored: int, detail: str = ""):
+        self.tokens_stored = tokens_stored
+        msg = f"KV cache full after {tokens_stored} tokens"
+        if detail:
+            msg = f"{msg}: {detail}"
+        super().__init__(msg)

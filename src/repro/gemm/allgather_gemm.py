@@ -1,0 +1,108 @@
+"""Allgather-GEMM — the GPU/TPU-pod scheme (Figure 6, case 1).
+
+Each core first gathers the *entire* block-row strip of A from its row
+and the entire block-column strip of B from its column, then computes its
+C tile in one local GEMM.  On pods with fat routers and large memories
+this is the default; on a PLMR device it violates everything at once:
+
+* R — each core needs a route colour per line member: O(N) paths;
+* L — the gather reaches the far edge of the row/column: O(N) hops;
+* M — the working set inflates from ``O(1/N^2)`` of the problem to
+  ``O(1/N)``.  On a memory-enforced mesh the gather simply *fails* with
+  :class:`~repro.errors.MemoryCapacityError` once strips outgrow SRAM —
+  run the machine with ``enforce_memory=False`` to study the scheme
+  anyway.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.collectives.allgather import line_allgather
+from repro.core.compliance import ALLGATHER_GEMM
+from repro.gemm.base import (
+    GemmKernel,
+    GemmShape,
+    check_partitionable,
+    require_square_grid,
+)
+from repro.mesh.cost_model import CommPhase, ComputePhase, Phase
+from repro.mesh.core_sim import Core
+from repro.mesh.machine import MeshMachine
+
+
+class AllgatherGEMM(GemmKernel):
+    """Gather-then-compute distributed GEMM."""
+
+    name = "allgather-gemm"
+    profile = ALLGATHER_GEMM
+
+    @classmethod
+    def run(cls, machine: MeshMachine, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Functional execution; returns the dense ``a @ b``."""
+        grid = require_square_grid(machine)
+        check_partitionable(a, b, grid)
+        a_name, b_name, c_name = "ag.A", "ag.B", "ag.C"
+        machine.scatter_matrix(a_name, a, grid, grid)
+        machine.scatter_matrix(b_name, b, grid, grid)
+
+        rows = [machine.topology.row(y) for y in range(grid)]
+        cols = [machine.topology.column(x) for x in range(grid)]
+        line_allgather(machine, rows, a_name, "ag.Arow", pattern_prefix="ag-A")
+        line_allgather(machine, cols, b_name, "ag.Bcol", pattern_prefix="ag-B")
+
+        def local_gemm(core: Core) -> float:
+            a_strip = np.concatenate(
+                [core.load(f"ag.Arow.{j}") for j in range(grid)], axis=1
+            )
+            b_strip = np.concatenate(
+                [core.load(f"ag.Bcol.{i}") for i in range(grid)], axis=0
+            )
+            core.store(c_name, a_strip @ b_strip)
+            macs = float(
+                a_strip.shape[0] * a_strip.shape[1] * b_strip.shape[1]
+            )
+            for j in range(grid):
+                core.free(f"ag.Arow.{j}")
+                core.free(f"ag.Bcol.{j}")
+            return macs
+
+        machine.compute_all("ag-gemm", local_gemm)
+        machine.advance_step()
+        return machine.gather_matrix(c_name, grid, grid)
+
+    @classmethod
+    def plan(cls, shape: GemmShape, grid: int) -> List[Phase]:
+        """Analytic phases: two strip gathers, then one big local GEMM.
+
+        The gather's critical receiver ingests ``grid - 1`` tiles over a
+        single link while the farthest tile travels ``grid - 1`` hops; no
+        overlap with compute is possible because the whole strip is
+        needed before the local GEMM starts.
+        """
+        tm, tk, tn = shape.tiles(grid)
+        a_bytes, b_bytes, _ = shape.tile_bytes(grid)
+        phases: List[Phase] = []
+        if grid > 1:
+            phases.append(
+                CommPhase(
+                    label="ag-gather-A",
+                    hop_distance=float(grid - 1),
+                    payload_bytes=float((grid - 1) * a_bytes),
+                )
+            )
+            phases.append(
+                CommPhase(
+                    label="ag-gather-B",
+                    hop_distance=float(grid - 1),
+                    payload_bytes=float((grid - 1) * b_bytes),
+                )
+            )
+        phases.append(
+            ComputePhase(
+                label="ag-gemm", macs_per_core=float(tm) * (tk * grid) * tn
+            )
+        )
+        return phases

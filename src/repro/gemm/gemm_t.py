@@ -1,0 +1,159 @@
+"""Transposed distributed GEMM (dist-GEMM-T) — ``C = A @ B^T`` without
+transposing B on the mesh (paper Sections 4.1 and 5.4).
+
+A mesh transpose would stream every tile to its diagonally opposite
+position — corner-to-corner traffic with an O(N) critical path, the worst
+possible pattern under the L property.  dist-GEMM-T avoids it entirely:
+
+* A (``M x K``) and B (``N x K``) are tiled ``n x n`` with the *same*
+  column partitioning of K, so no operand ever changes orientation;
+* there is **no alignment step**;
+* the loop runs ``n`` steps: shift B one logical position along Y
+  (two hops under INTERLEAVE), compute the outer partial
+  ``P = A_sub @ B_sub^T`` — the tile-level transpose is free, it is just
+  the local loop order — and **ReduceAdd P along the X axis** (using the
+  two-way K-tree) into the core that owns that block of C.
+
+At step ``s`` the row holding logical block-row ``i`` of A holds logical
+block-row ``r = (i + s) mod n`` of B, so the reduction over the row's
+``j`` tiles yields exactly ``C(i, r) = sum_j A(i,j) @ B(r,j)^T``; over
+``n`` steps every block of C is produced once.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.collectives.allreduce import ktree_reduce
+from repro.collectives.interleave import interleave_placement, inverse_placement
+from repro.collectives.plans import ktree_reduce_plan
+from repro.collectives.primitives import column_ring_shift
+from repro.core.compliance import MESHGEMM
+from repro.errors import ShapeError
+from repro.gemm.base import (
+    GemmKernel,
+    GemmShape,
+    gather_with_placement,
+    require_square_grid,
+    scatter_with_placement,
+)
+from repro.mesh.cost_model import (
+    CommPhase,
+    ComputePhase,
+    LoopPhase,
+    Phase,
+    ReducePhase,
+)
+from repro.mesh.core_sim import Core
+from repro.mesh.fabric import Flow
+from repro.mesh.machine import MeshMachine
+
+
+class MeshGEMMTransposed(GemmKernel):
+    """MeshGEMM variant computing ``A @ B^T`` with B in untransposed layout."""
+
+    name = "meshgemm-t"
+    profile = MESHGEMM  # same cyclic-shift compliance class
+
+    @classmethod
+    def run(cls, machine: MeshMachine, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Functional execution; returns the dense ``a @ b.T``.
+
+        ``a`` has shape ``(M, K)``; ``b`` has shape ``(N, K)``.
+        """
+        grid = require_square_grid(machine)
+        if a.ndim != 2 or b.ndim != 2:
+            raise ShapeError("operands must be 2-D")
+        if a.shape[1] != b.shape[1]:
+            raise ShapeError(f"K dims differ: {a.shape} vs {b.shape} (B untransposed)")
+        if a.shape[0] % grid or a.shape[1] % grid or b.shape[0] % grid:
+            raise ShapeError("dims must divide the grid; pad operands")
+
+        placement = interleave_placement(grid)
+        logical_at = inverse_placement(placement)
+        a_name, b_name, p_name, c_name = "gemmt.A", "gemmt.B", "gemmt.P", "gemmt.C"
+        scatter_with_placement(machine, a_name, a, placement, placement)
+        scatter_with_placement(machine, b_name, b, placement, placement)
+
+        rows = [machine.topology.row(y) for y in range(grid)]
+
+        def outer_partial(core: Core) -> float:
+            a_tile = core.load(a_name)
+            b_tile = core.load(b_name)
+            core.store(p_name, a_tile @ b_tile.T)
+            return float(a_tile.shape[0] * a_tile.shape[1] * b_tile.shape[0])
+
+        for step in range(grid):
+            machine.compute_all("gemmt-outer", outer_partial)
+            roots = ktree_reduce(machine, rows, p_name, k=2, pattern_prefix="gemmt-reduce")
+            # Deliver each row's reduced block to the core owning C(i, r).
+            flows = []
+            for py, root in zip(range(grid), roots):
+                i = logical_at[py]
+                r = (i + step) % grid
+                target = (placement[r], py)
+                if target == root:
+                    machine.core(root).store(c_name, machine.core(root).load(p_name))
+                else:
+                    flows.append(Flow.unicast(root, target, p_name, c_name))
+            if flows:
+                machine.communicate("gemmt-place", flows)
+            machine.free(p_name)
+            if step < grid - 1:
+                column_ring_shift(machine, "gemmt-shift-B", b_name, placement, offset=-1)
+            machine.advance_step()
+
+        return gather_with_placement(machine, c_name, placement, placement)
+
+    @classmethod
+    def plan(cls, shape: GemmShape, grid: int) -> List[Phase]:
+        """Analytic phases for ``C[m, n] = A[m, k] @ B[n, k]^T``.
+
+        ``shape`` follows the product's dims: ``m x k`` times ``k x n``
+        with B stored as ``n x k``.  Each step overlaps the tile outer
+        product with the two-hop B shift, then pays a K-tree row
+        reduction of the partial C tile plus its delivery hop.
+        """
+        tm, tk, tn = shape.tiles(grid)
+        b_tile_bytes = tk * tn * shape.dtype_bytes
+        p_bytes = float(tm * tn * shape.dtype_bytes)
+        p_elems = float(tm * tn)
+        phases: List[Phase] = [
+            LoopPhase(
+                label="gemmt-compute-shift",
+                steps=grid,
+                compute=ComputePhase(
+                    label="gemmt-outer", macs_per_core=float(tm * tk * tn)
+                ),
+                comm=CommPhase(
+                    label="gemmt-shift-B",
+                    hop_distance=2.0 if grid > 2 else 1.0,
+                    payload_bytes=float(b_tile_bytes),
+                ),
+                overlap=True,
+            )
+        ]
+        for reduce_phase in ktree_reduce_plan(grid, p_bytes, p_elems, k=2):
+            assert isinstance(reduce_phase, ReducePhase)
+            phases.append(
+                ReducePhase(
+                    label=reduce_phase.label,
+                    stages=reduce_phase.stages,
+                    stage_hop_distance=reduce_phase.stage_hop_distance,
+                    payload_bytes=reduce_phase.payload_bytes,
+                    stage_add_elems=reduce_phase.stage_add_elems,
+                    repeats=grid,
+                )
+            )
+        if grid > 1:
+            phases.append(
+                CommPhase(
+                    label="gemmt-place",
+                    hop_distance=float(grid - 1),
+                    payload_bytes=p_bytes,
+                    repeats=grid,
+                )
+            )
+        return phases

@@ -1,0 +1,280 @@
+"""MeshGEMM on non-square meshes via LCM logical tiling (Section 5.4).
+
+A ``Nh x Nw`` fabric with ``Nh != Nw`` cannot host the square cyclic-shift
+grid directly.  The paper's fix: tile the operands into
+``Nlcm x Nlcm`` logical positions, ``Nlcm = lcm(Nh, Nw)``, and fold the
+logical grid onto the physical mesh — each physical core hosts a
+``(Nlcm/Nh) x (Nlcm/Nw)`` block of logical positions.  The fold is
+monotone, so a two-hop logical shift is at most a two-hop *physical*
+transfer, and shifts between logical positions sharing a core are free
+local moves.  Compute per core grows by the hosted-slot count, preserving
+load balance exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.collectives.interleave import (
+    interleave_placement,
+    inverse_placement,
+    shift_mapping_1d,
+)
+from repro.core.plmr import PLMRDevice
+from repro.errors import ShapeError
+from repro.gemm.base import GemmShape
+from repro.mesh.cost_model import (
+    CommPhase,
+    ComputePhase,
+    KernelCost,
+    LoopPhase,
+    Phase,
+    estimate as estimate_phases,
+)
+from repro.mesh.fabric import Flow
+from repro.mesh.machine import MeshMachine
+from repro.mesh.topology import Coord
+
+Slot = Tuple[int, int]  # (logical line row, logical line column)
+
+
+class LogicalGrid:
+    """Fold of an ``n x n`` logical grid onto an ``Nh x Nw`` physical mesh."""
+
+    def __init__(self, nh: int, nw: int):
+        if nh < 1 or nw < 1:
+            raise ShapeError(f"mesh dims must be positive, got {nh}x{nw}")
+        self.nh = nh
+        self.nw = nw
+        self.n = math.lcm(nh, nw)
+        self.rows_per_core = self.n // nh
+        self.cols_per_core = self.n // nw
+
+    def physical(self, slot: Slot) -> Coord:
+        """Physical core hosting a logical (row, col) line position."""
+        li, lj = slot
+        return (lj // self.cols_per_core, li // self.rows_per_core)
+
+    @staticmethod
+    def slot_name(base: str, slot: Slot) -> str:
+        """Tile name of a logical slot in core memory."""
+        return f"{base}@{slot[0]},{slot[1]}"
+
+
+def _move_slots(
+    machine: MeshMachine,
+    grid: LogicalGrid,
+    base: str,
+    moves: List[Tuple[Slot, Slot]],
+    pattern: str,
+) -> None:
+    """Permute slot tiles; cross-core moves use the NoC, local ones are free.
+
+    All sources are staged to ``.out`` copies first so the permutation is
+    simultaneous regardless of local/remote interleaving.
+    """
+    staged: Dict[Slot, np.ndarray] = {}
+    for src, _dst in moves:
+        core = machine.core(grid.physical(src))
+        staged[src] = core.load(grid.slot_name(base, src))
+        core.store(grid.slot_name(base, src) + ".out", staged[src])
+    flows: List[Flow] = []
+    for src, dst in moves:
+        src_core = grid.physical(src)
+        dst_core = grid.physical(dst)
+        if src_core == dst_core:
+            machine.place(grid.slot_name(base, dst), dst_core, staged[src])
+        else:
+            flows.append(
+                Flow.unicast(
+                    src_core,
+                    dst_core,
+                    grid.slot_name(base, src) + ".out",
+                    grid.slot_name(base, dst),
+                )
+            )
+    if flows:
+        machine.communicate(pattern, flows)
+    for src, _dst in moves:
+        machine.core(grid.physical(src)).free(grid.slot_name(base, src) + ".out")
+
+
+def _shift_rows(
+    machine: MeshMachine,
+    grid: LogicalGrid,
+    base: str,
+    placement: List[int],
+    offsets_by_logical_row: List[int],
+    pattern: str,
+) -> None:
+    """Shift every logical row's tiles around its interleaved ring."""
+    moves: List[Tuple[Slot, Slot]] = []
+    for li in range(grid.n):
+        offset = offsets_by_logical_row[li]
+        if offset % grid.n == 0:
+            continue
+        dest_of = shift_mapping_1d(placement, offset)
+        for lj in range(grid.n):
+            moves.append(((li, lj), (li, dest_of[lj])))
+    if moves:
+        _move_slots(machine, grid, base, moves, pattern)
+
+
+def _shift_cols(
+    machine: MeshMachine,
+    grid: LogicalGrid,
+    base: str,
+    placement: List[int],
+    offsets_by_logical_col: List[int],
+    pattern: str,
+) -> None:
+    """Shift every logical column's tiles around its interleaved ring."""
+    moves: List[Tuple[Slot, Slot]] = []
+    for lj in range(grid.n):
+        offset = offsets_by_logical_col[lj]
+        if offset % grid.n == 0:
+            continue
+        dest_of = shift_mapping_1d(placement, offset)
+        for li in range(grid.n):
+            moves.append(((li, lj), (dest_of[li], lj)))
+    if moves:
+        _move_slots(machine, grid, base, moves, pattern)
+
+
+class MeshGEMMNonSquare:
+    """MeshGEMM on a rectangular fabric via the LCM logical grid."""
+
+    name = "meshgemm-nonsquare"
+
+    @classmethod
+    def run(cls, machine: MeshMachine, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Functional ``a @ b`` on a (possibly) non-square mesh machine."""
+        grid = LogicalGrid(machine.topology.height, machine.topology.width)
+        n = grid.n
+        if a.shape[1] != b.shape[0]:
+            raise ShapeError(f"inner dims differ: {a.shape} @ {b.shape}")
+        if a.shape[0] % n or a.shape[1] % n or b.shape[1] % n:
+            raise ShapeError(f"dims must divide the logical grid size {n}")
+
+        placement = interleave_placement(n)
+        logical_at = inverse_placement(placement)
+        tm, tk = a.shape[0] // n, a.shape[1] // n
+        tn = b.shape[1] // n
+
+        # Scatter: logical tile (i, j) occupies line slot
+        # (placement[i], placement[j]).
+        for i in range(n):
+            for j in range(n):
+                slot = (placement[i], placement[j])
+                coord = grid.physical(slot)
+                machine.place(
+                    grid.slot_name("nsq.A", slot),
+                    coord,
+                    a[i * tm:(i + 1) * tm, j * tk:(j + 1) * tk],
+                )
+                machine.place(
+                    grid.slot_name("nsq.B", slot),
+                    coord,
+                    b[i * tk:(i + 1) * tk, j * tn:(j + 1) * tn],
+                )
+
+        # Alignment skews, by logical index of each line row/column.
+        _shift_rows(
+            machine, grid, "nsq.A", placement,
+            [-logical_at[li] for li in range(n)], "nsq-align-A",
+        )
+        _shift_cols(
+            machine, grid, "nsq.B", placement,
+            [-logical_at[lj] for lj in range(n)], "nsq-align-B",
+        )
+        machine.advance_step()
+
+        def mac_all_slots() -> None:
+            for li in range(n):
+                for lj in range(n):
+                    slot = (li, lj)
+                    core = machine.core(grid.physical(slot))
+                    a_tile = core.load(grid.slot_name("nsq.A", slot))
+                    b_tile = core.load(grid.slot_name("nsq.B", slot))
+                    c_name = grid.slot_name("nsq.C", slot)
+                    c_tile = core.load_optional(c_name)
+                    partial = a_tile @ b_tile
+                    core.store(c_name, partial if c_tile is None else c_tile + partial)
+
+        for step in range(n):
+            mac_all_slots()
+            machine.trace.record_compute(
+                machine.step,
+                "nsq-mac",
+                [float(tm * tk * tn) * grid.rows_per_core * grid.cols_per_core]
+                * machine.topology.num_cores,
+            )
+            if step < n - 1:
+                _shift_rows(machine, grid, "nsq.A", placement, [-1] * n, "nsq-shift-A")
+                _shift_cols(machine, grid, "nsq.B", placement, [-1] * n, "nsq-shift-B")
+            machine.advance_step()
+
+        result = np.zeros((n * tm, n * tn), dtype=np.result_type(a, b))
+        for i in range(n):
+            for j in range(n):
+                slot = (placement[i], placement[j])
+                tile = machine.core(grid.physical(slot)).load(
+                    grid.slot_name("nsq.C", slot)
+                )
+                result[i * tm:(i + 1) * tm, j * tn:(j + 1) * tn] = tile
+        return result
+
+    @classmethod
+    def plan(cls, shape: GemmShape, nh: int, nw: int) -> List[Phase]:
+        """Analytic phases: square plan scaled by hosted slots per core.
+
+        Per-step compute multiplies by the slots each core hosts; per-step
+        shift payload multiplies by the slots crossing a physical core
+        boundary (one per hosted logical row for the A shift).
+        """
+        grid = LogicalGrid(nh, nw)
+        n = grid.n
+        tm = math.ceil(shape.m / n)
+        tk = math.ceil(shape.k / n)
+        tn = math.ceil(shape.n / n)
+        a_bytes = tm * tk * shape.dtype_bytes
+        b_bytes = tk * tn * shape.dtype_bytes
+        slots = grid.rows_per_core * grid.cols_per_core
+        crossing = max(grid.rows_per_core, grid.cols_per_core)
+        phases: List[Phase] = []
+        if n > 1:
+            phases.append(
+                CommPhase(
+                    label="nsq-align",
+                    hop_distance=float(max(nh, nw) - 1),
+                    payload_bytes=float((a_bytes + b_bytes) * crossing),
+                )
+            )
+        phases.append(
+            LoopPhase(
+                label="nsq-compute-shift",
+                steps=n,
+                compute=ComputePhase(
+                    label="nsq-mac", macs_per_core=float(tm * tk * tn * slots)
+                ),
+                comm=CommPhase(
+                    label="nsq-shift",
+                    hop_distance=2.0 if n > 2 else 1.0,
+                    payload_bytes=float(max(a_bytes, b_bytes) * crossing),
+                ),
+                overlap=True,
+            )
+        )
+        return phases
+
+    @classmethod
+    def estimate(cls, device: PLMRDevice, shape: GemmShape) -> KernelCost:
+        """Cycle estimate using the device's full (rectangular) fabric."""
+        return estimate_phases(
+            f"{cls.name}[{device.mesh_height}x{device.mesh_width}]",
+            device,
+            cls.plan(shape, device.mesh_height, device.mesh_width),
+        )

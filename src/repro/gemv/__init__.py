@@ -1,0 +1,30 @@
+"""Distributed GEMV kernels: MeshGEMV and the paper's baselines."""
+
+from repro.gemv.base import (
+    GemvKernel,
+    GemvShape,
+    gather_gemv_result,
+    local_partial_gemv,
+    scatter_gemv_operands,
+)
+from repro.gemv.meshgemv import MeshGEMV, meshgemv_with_k
+from repro.gemv.pipeline_gemv import PipelineGEMV
+from repro.gemv.ring_gemv import RingGEMV
+
+#: Kernels compared in Figure 10 / Figure 8.
+GEMV_KERNELS = {
+    kernel.name: kernel for kernel in (MeshGEMV, PipelineGEMV, RingGEMV)
+}
+
+__all__ = [
+    "GemvKernel",
+    "GemvShape",
+    "scatter_gemv_operands",
+    "local_partial_gemv",
+    "gather_gemv_result",
+    "MeshGEMV",
+    "meshgemv_with_k",
+    "PipelineGEMV",
+    "RingGEMV",
+    "GEMV_KERNELS",
+]

@@ -1,0 +1,177 @@
+"""Shared machinery for distributed GEMV kernels.
+
+All GEMV kernels compute ``c[1, n] = a[1, k] @ B[k, n]`` (the paper's
+``[1, 16K] x [16K, 16K]`` benchmark unit and the decode-phase workhorse).
+
+Distribution (Section 6.2, step 1): B is tiled ``grid x grid``; the
+vector ``a`` is partitioned along K into ``grid`` chunks distributed down
+the Y axis and **replicated** along the X axis — the fine-grained
+replication idea of decode parallelism, which buys full-mesh parallelism
+without any pre-GEMV scatter.  Every core computes its local partial
+``a_sub @ B_sub``; the kernels differ only in how partials are reduced
+along each column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.plmr import PLMRDevice
+from repro.errors import ShapeError
+from repro.mesh.cost_model import ComputePhase, KernelCost, Phase
+from repro.mesh.cost_model import estimate as estimate_phases
+from repro.mesh.core_sim import Core
+from repro.mesh.machine import MeshMachine
+
+
+@dataclass(frozen=True)
+class GemvShape:
+    """Problem shape for ``c[1, n] = a[1, k] @ B[k, n]``."""
+
+    k: int
+    n: int
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.k < 1 or self.n < 1:
+            raise ShapeError(f"GEMV dims must be positive: {self}")
+        if self.dtype_bytes < 1:
+            raise ShapeError("dtype_bytes must be at least 1")
+
+    @property
+    def total_macs(self) -> float:
+        """MACs of the dense product."""
+        return float(self.k) * self.n
+
+    def tiles(self, grid: int) -> Tuple[int, int]:
+        """Per-core tile dims ``(tk, tn)``, padded up to the grid."""
+        return math.ceil(self.k / grid), math.ceil(self.n / grid)
+
+    @staticmethod
+    def square(dim: int, dtype_bytes: int = 2) -> "GemvShape":
+        """Square matrix ``[1, dim] x [dim, dim]``."""
+        return GemvShape(k=dim, n=dim, dtype_bytes=dtype_bytes)
+
+
+def require_square_grid(machine: MeshMachine) -> int:
+    """GEMV kernels here use a square core grid; return its side."""
+    if machine.topology.width != machine.topology.height:
+        raise ShapeError(
+            f"square core grid required, got "
+            f"{machine.topology.width}x{machine.topology.height}"
+        )
+    return machine.topology.width
+
+
+def scatter_gemv_operands(
+    machine: MeshMachine, a: np.ndarray, b: np.ndarray
+) -> int:
+    """Distribute ``a`` (replicated along X) and ``B`` (tiled); return grid.
+
+    Core ``(x, y)`` receives vector chunk ``y`` and matrix tile
+    ``B(y, x)`` under names ``"gemv.a"`` / ``"gemv.B"``.
+    """
+    grid = require_square_grid(machine)
+    a = np.asarray(a)
+    if a.ndim == 2:
+        if a.shape[0] != 1:
+            raise ShapeError(f"a must be a row vector, got {a.shape}")
+        a = a[0]
+    if a.shape[0] != b.shape[0]:
+        raise ShapeError(f"inner dims differ: {a.shape} @ {b.shape}")
+    if a.shape[0] % grid or b.shape[1] % grid:
+        raise ShapeError(f"dims must divide the grid {grid}; pad operands")
+    machine.scatter_matrix("gemv.B", b, grid, grid)
+    tk = a.shape[0] // grid
+    for y in range(grid):
+        chunk = a[y * tk:(y + 1) * tk]
+        for x in range(grid):
+            machine.place("gemv.a", (x, y), chunk)
+    return grid
+
+
+def local_partial_gemv(machine: MeshMachine, out_name: str = "gemv.c") -> None:
+    """Every core computes its partial ``a_sub @ B_sub`` into ``out_name``."""
+
+    def partial(core: Core) -> float:
+        vec = core.load("gemv.a")
+        mat = core.load("gemv.B")
+        core.store(out_name, vec @ mat)
+        return float(mat.shape[0] * mat.shape[1])
+
+    machine.compute_all("gemv-partial", partial)
+
+
+def gather_gemv_result(
+    machine: MeshMachine, roots: List, name: str = "gemv.c"
+) -> np.ndarray:
+    """Concatenate per-column results from the reduction root cores.
+
+    ``roots[x]`` must be the root coordinate of column ``x``.
+    """
+    grid = machine.topology.width
+    if len(roots) != grid:
+        raise ShapeError(f"expected {grid} roots, got {len(roots)}")
+    parts = [machine.core(roots[x]).load(name) for x in range(grid)]
+    return np.concatenate(parts, axis=-1)
+
+
+class GemvKernel:
+    """Base class for distributed GEMV kernels.
+
+    Subclasses provide ``name``, ``profile`` (Figure 8), ``run`` and
+    ``plan``; ``estimate`` and ``compute_phase`` are shared.
+    """
+
+    name: str = "gemv"
+    profile = None  # type: ignore[assignment]
+
+    @classmethod
+    def plan(cls, shape: GemvShape, grid: int) -> List[Phase]:
+        raise NotImplementedError
+
+    @classmethod
+    def run(cls, machine: MeshMachine, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @classmethod
+    def compute_phase(cls, shape: GemvShape, grid: int) -> ComputePhase:
+        """The local-partial phase, identical for every variant."""
+        tk, tn = shape.tiles(grid)
+        return ComputePhase(label=f"{cls.name}-partial", macs_per_core=float(tk * tn))
+
+    @classmethod
+    def default_grid(cls, device: PLMRDevice, shape: GemvShape) -> int:
+        """Largest usable square grid for this problem on this device."""
+        side = min(device.mesh_width, device.mesh_height)
+        return max(1, min(side, shape.k, shape.n))
+
+    @classmethod
+    def estimate(
+        cls,
+        device: PLMRDevice,
+        shape: Optional[GemvShape] = None,
+        grid: Optional[int] = None,
+        rows: Optional[int] = None,
+        cols: Optional[int] = None,
+        dtype_bytes: int = 2,
+    ) -> KernelCost:
+        """Cycle/energy estimate; accepts a shape or ``rows``/``cols``."""
+        if shape is None:
+            if rows is None or cols is None:
+                raise ShapeError("provide either shape or rows+cols")
+            shape = GemvShape(k=rows, n=cols, dtype_bytes=dtype_bytes)
+        if grid is None:
+            grid = cls.default_grid(device, shape)
+        if grid > min(device.mesh_width, device.mesh_height):
+            raise ShapeError(
+                f"grid {grid} exceeds device fabric "
+                f"{device.mesh_width}x{device.mesh_height}"
+            )
+        return estimate_phases(
+            f"{cls.name}[{grid}x{grid}]", device, cls.plan(shape, grid)
+        )

@@ -1,0 +1,69 @@
+"""GEMV with pipeline allreduce — the Cerebras-demo default
+(Figure 8, case 1; the baseline of Figure 10, "GEMV-Cerebras").
+
+Partials chain along each column: core ``y`` adds its partial to the
+running sum from core ``y - 1`` and forwards it.  Routing is minimal
+(one colour per column, satisfying R) but the longest aggregation path
+runs tail to head: O(N) sequential add stages, violating L.  On large
+meshes the chain dominates the whole GEMV — this is the performance
+cliff MeshGEMV's K-tree removes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.collectives.allreduce import broadcast_from_root, pipeline_reduce
+from repro.collectives.plans import pipeline_reduce_plan, root_broadcast_plan
+from repro.core.compliance import PIPELINE_GEMV
+from repro.gemv.base import (
+    GemvKernel,
+    GemvShape,
+    gather_gemv_result,
+    local_partial_gemv,
+    scatter_gemv_operands,
+)
+from repro.mesh.cost_model import Phase
+from repro.mesh.machine import MeshMachine
+
+
+class PipelineGEMV(GemvKernel):
+    """GEMV with linear-chain (pipeline) allreduce."""
+
+    name = "pipeline-gemv"
+    profile = PIPELINE_GEMV
+
+    @classmethod
+    def run(
+        cls,
+        machine: MeshMachine,
+        a: np.ndarray,
+        b: np.ndarray,
+        broadcast: bool = False,
+    ) -> np.ndarray:
+        """Functional execution; returns the dense ``a @ b`` row vector."""
+        grid = scatter_gemv_operands(machine, a, b)
+        local_partial_gemv(machine)
+        machine.advance_step()
+        columns = [machine.topology.column(x) for x in range(grid)]
+        roots = pipeline_reduce(machine, columns, "gemv.c",
+                                pattern="pipeline-gemv-reduce")
+        if broadcast:
+            broadcast_from_root(machine, columns, roots, "gemv.c",
+                                pattern="pipeline-gemv-bcast")
+        return gather_gemv_result(machine, roots)
+
+    @classmethod
+    def plan(
+        cls, shape: GemvShape, grid: int, broadcast: bool = False
+    ) -> List[Phase]:
+        """Analytic phases: local partial + ``grid - 1`` chained adds."""
+        tk, tn = shape.tiles(grid)
+        payload_bytes = float(tn * shape.dtype_bytes)
+        phases: List[Phase] = [cls.compute_phase(shape, grid)]
+        phases.extend(pipeline_reduce_plan(grid, payload_bytes, float(tn)))
+        if broadcast:
+            phases.extend(root_broadcast_plan(grid, payload_bytes))
+        return phases

@@ -1,0 +1,68 @@
+"""GEMV with ring allreduce — the GPU-pod default (Figure 8, case 2).
+
+Each column runs a ring allreduce (reduce-scatter + allgather) over its
+partials.  Rings are bandwidth-optimal on pods with full-duplex
+point-to-point links, but on a mesh line the ring needs 2(N-1)
+synchronized rounds *and* its wraparound edge spans the whole column —
+an O(N) critical path on both counts, violating L.  After the allreduce
+every core of the column holds the result (allreduce semantics), so no
+separate broadcast exists or is needed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.collectives.allreduce import ring_allreduce
+from repro.collectives.plans import ring_allreduce_plan
+from repro.core.compliance import RING_GEMV
+from repro.gemv.base import (
+    GemvKernel,
+    GemvShape,
+    gather_gemv_result,
+    local_partial_gemv,
+    scatter_gemv_operands,
+)
+from repro.mesh.cost_model import Phase
+from repro.mesh.machine import MeshMachine
+
+
+class RingGEMV(GemvKernel):
+    """GEMV with ring allreduce along each column."""
+
+    name = "ring-gemv"
+    profile = RING_GEMV
+
+    @classmethod
+    def run(
+        cls,
+        machine: MeshMachine,
+        a: np.ndarray,
+        b: np.ndarray,
+        broadcast: bool = True,
+    ) -> np.ndarray:
+        """Functional execution; returns the dense ``a @ b`` row vector.
+
+        ``broadcast`` is accepted for interface parity but ignored: the
+        ring leaves the result on every column core by construction.
+        """
+        grid = scatter_gemv_operands(machine, a, b)
+        local_partial_gemv(machine)
+        machine.advance_step()
+        columns = [machine.topology.column(x) for x in range(grid)]
+        ring_allreduce(machine, columns, "gemv.c", pattern="ring-gemv-allreduce")
+        roots = [column[0] for column in columns]
+        return gather_gemv_result(machine, roots)
+
+    @classmethod
+    def plan(
+        cls, shape: GemvShape, grid: int, broadcast: bool = True
+    ) -> List[Phase]:
+        """Analytic phases: local partial + 2(grid-1) ring rounds."""
+        tk, tn = shape.tiles(grid)
+        payload_bytes = float(tn * shape.dtype_bytes)
+        phases: List[Phase] = [cls.compute_phase(shape, grid)]
+        phases.extend(ring_allreduce_plan(grid, payload_bytes, float(tn)))
+        return phases

@@ -1,0 +1,75 @@
+"""Attention-variant analysis and head-grouping utilities (Section 4.4).
+
+WaferLLM supports Multi-Head, Grouped-Query and Multi-Query attention by
+grouping query heads over their shared KV head and running dist-GEMM /
+dist-GEMV / dist-GEMM-T *locally per group*.  The numerical side lives in
+:mod:`repro.llm.distributed`; this module provides the planning side:
+which query heads share which KV head, how the head dimension folds onto
+sub-meshes, and how much KV-cache traffic each variant saves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.llm.config import AttentionVariant, ModelConfig
+
+
+@dataclass(frozen=True)
+class HeadGroup:
+    """One KV head and the query heads attending through it."""
+
+    kv_head: int
+    query_heads: Tuple[int, ...]
+
+
+def head_groups(model: ModelConfig) -> List[HeadGroup]:
+    """Query-head grouping over KV heads for GQA/MQA/MHA."""
+    group = model.group_size
+    return [
+        HeadGroup(
+            kv_head=kv,
+            query_heads=tuple(range(kv * group, (kv + 1) * group)),
+        )
+        for kv in range(model.n_kv_heads)
+    ]
+
+
+def kv_cache_ratio(model: ModelConfig) -> float:
+    """KV bytes per token relative to an MHA model of the same width.
+
+    GQA/MQA shrink the cache by ``n_heads / n_kv_heads`` — the reason
+    LLaMA3 uses GQA (Section 7, "LLM models").
+    """
+    return model.n_kv_heads / model.n_heads
+
+
+def subgrid_for_heads(grid: int, model: ModelConfig) -> Tuple[int, int]:
+    """(sub-mesh side, concurrent groups) for head-local attention ops.
+
+    The mesh is carved into roughly square regions, one per query head,
+    matching the head grouping of Section 4.4.  Returns the side of each
+    region and how many head regions fit (at least one).
+    """
+    if grid < 1:
+        raise ConfigurationError("grid must be positive")
+    per_side = math.ceil(math.sqrt(model.n_heads))
+    side = max(1, grid // per_side)
+    fit = (grid // side) ** 2 if side > 0 else 1
+    return side, max(1, fit)
+
+
+def variant_summary(model: ModelConfig) -> Dict[str, object]:
+    """Human-readable description of the model's attention plan."""
+    return {
+        "variant": model.attention_variant.value,
+        "n_heads": model.n_heads,
+        "n_kv_heads": model.n_kv_heads,
+        "group_size": model.group_size,
+        "head_dim": model.head_dim,
+        "kv_cache_ratio_vs_mha": kv_cache_ratio(model),
+        "kv_bytes_per_token": model.kv_bytes_per_token(),
+    }

@@ -1,0 +1,246 @@
+"""LLM architecture configurations.
+
+The paper evaluates LLaMA3-8B, LLaMA2-13B, CodeLLaMA-34B and QWen2-72B
+(Section 7, "LLM models").  Throughput experiments depend only on tensor
+*shapes*, so these configs carry the published architectural parameters;
+weights themselves are synthesized (see :mod:`repro.llm.checkpoint`).
+
+``TINY_*`` configs exist for functional tests: small enough that the
+distributed transformer runs on an 8x8 simulated mesh and is checked
+numerically against the dense reference.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+class AttentionVariant(enum.Enum):
+    """Self-attention flavours supported by WaferLLM (Section 4.4)."""
+
+    MHA = "multi-head"     # n_kv_heads == n_heads
+    GQA = "grouped-query"  # 1 < n_kv_heads < n_heads
+    MQA = "multi-query"    # n_kv_heads == 1
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Shape parameters of a decoder-only transformer."""
+
+    name: str
+    num_layers: int
+    d_model: int           # E: embedding dimension
+    n_heads: int           # H query heads
+    n_kv_heads: int        # KV heads (GQA/MQA)
+    d_ff: int              # F: feedforward hidden dimension (SwiGLU)
+    vocab_size: int
+    max_seq_len: int = 8192
+    norm_eps: float = 1e-5
+    rope_theta: float = 500000.0
+    dtype_bytes: int = 2   # fp16 weights and activations
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads:
+            raise ConfigurationError(
+                f"{self.name}: d_model {self.d_model} not divisible by "
+                f"n_heads {self.n_heads}"
+            )
+        if self.n_heads % self.n_kv_heads:
+            raise ConfigurationError(
+                f"{self.name}: n_heads {self.n_heads} not divisible by "
+                f"n_kv_heads {self.n_kv_heads}"
+            )
+        if min(self.num_layers, self.d_model, self.n_heads,
+               self.n_kv_heads, self.d_ff, self.vocab_size) < 1:
+            raise ConfigurationError(f"{self.name}: all dims must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.d_model // self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Total K (or V) projection width."""
+        return self.n_kv_heads * self.head_dim
+
+    @property
+    def group_size(self) -> int:
+        """Query heads sharing one KV head."""
+        return self.n_heads // self.n_kv_heads
+
+    @property
+    def attention_variant(self) -> AttentionVariant:
+        """Classify the attention flavour from the head counts."""
+        if self.n_kv_heads == 1:
+            return AttentionVariant.MQA
+        if self.n_kv_heads == self.n_heads:
+            return AttentionVariant.MHA
+        return AttentionVariant.GQA
+
+    # -- parameter and memory accounting ---------------------------------
+    @property
+    def layer_params(self) -> int:
+        """Parameters in one transformer layer (projections + SwiGLU + norms)."""
+        attn = self.d_model * (self.d_model + 2 * self.kv_dim + self.d_model)
+        ffn = 3 * self.d_model * self.d_ff
+        norms = 2 * self.d_model
+        return attn + ffn + norms
+
+    @property
+    def embed_params(self) -> int:
+        """Embedding + output-head parameters (untied)."""
+        return 2 * self.vocab_size * self.d_model
+
+    @property
+    def total_params(self) -> int:
+        """Total parameter count."""
+        return self.num_layers * self.layer_params + self.embed_params + self.d_model
+
+    @property
+    def weight_bytes(self) -> int:
+        """Model size in bytes at the native dtype."""
+        return self.total_params * self.dtype_bytes
+
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes one token adds, across all layers (K and V)."""
+        return 2 * self.kv_dim * self.num_layers * self.dtype_bytes
+
+    def decode_macs_per_token(self, context_len: int) -> float:
+        """MACs to decode one token at the given live context length.
+
+        Projections + SwiGLU are weight MACs; attention adds the score
+        and value GEMVs over the cached context.
+        """
+        proj = self.num_layers * (
+            self.d_model * (self.d_model + 2 * self.kv_dim + self.d_model)
+            + 3 * self.d_model * self.d_ff
+        )
+        attn = self.num_layers * 2 * context_len * self.head_dim * self.n_heads
+        head = self.d_model * self.vocab_size
+        return float(proj + attn + head)
+
+    def prefill_macs(self, seq_len: int) -> float:
+        """MACs to prefill ``seq_len`` tokens."""
+        proj = seq_len * self.num_layers * (
+            self.d_model * (self.d_model + 2 * self.kv_dim + self.d_model)
+            + 3 * self.d_model * self.d_ff
+        )
+        attn = self.num_layers * 2 * seq_len * seq_len * self.d_model
+        return float(proj + attn)
+
+    def scaled_to_layers(self, num_layers: int) -> "ModelConfig":
+        """A copy with a different layer count.
+
+        The paper evaluates CodeLLaMA-34B and QWen2-72B on a *subset of
+        layers* (they exceed WSE-2 memory) and scales results by the
+        uniform layer structure; this helper builds those subset models.
+        """
+        return replace(self, name=f"{self.name}[{num_layers}L]", num_layers=num_layers)
+
+
+# ---------------------------------------------------------------------------
+# Published model configurations (paper Section 7)
+# ---------------------------------------------------------------------------
+
+LLAMA3_8B = ModelConfig(
+    name="llama3-8b",
+    num_layers=32,
+    d_model=4096,
+    n_heads=32,
+    n_kv_heads=8,
+    d_ff=14336,
+    vocab_size=128256,
+    rope_theta=500000.0,
+)
+
+LLAMA2_13B = ModelConfig(
+    name="llama2-13b",
+    num_layers=40,
+    d_model=5120,
+    n_heads=40,
+    n_kv_heads=40,
+    d_ff=13824,
+    vocab_size=32000,
+    rope_theta=10000.0,
+)
+
+CODELLAMA_34B = ModelConfig(
+    name="codellama-34b",
+    num_layers=48,
+    d_model=8192,
+    n_heads=64,
+    n_kv_heads=8,
+    d_ff=22016,
+    vocab_size=32016,
+    rope_theta=1000000.0,
+)
+
+QWEN2_72B = ModelConfig(
+    name="qwen2-72b",
+    num_layers=80,
+    d_model=8192,
+    n_heads=64,
+    n_kv_heads=8,
+    d_ff=29568,
+    vocab_size=152064,
+    rope_theta=1000000.0,
+)
+
+#: Tiny models for functional mesh tests (shapes divide small grids).
+TINY_MHA = ModelConfig(
+    name="tiny-mha",
+    num_layers=2,
+    d_model=16,
+    n_heads=4,
+    n_kv_heads=4,
+    d_ff=32,
+    vocab_size=64,
+    max_seq_len=64,
+    rope_theta=10000.0,
+)
+
+TINY_GQA = ModelConfig(
+    name="tiny-gqa",
+    num_layers=2,
+    d_model=16,
+    n_heads=4,
+    n_kv_heads=2,
+    d_ff=32,
+    vocab_size=64,
+    max_seq_len=64,
+    rope_theta=10000.0,
+)
+
+TINY_MQA = ModelConfig(
+    name="tiny-mqa",
+    num_layers=2,
+    d_model=16,
+    n_heads=4,
+    n_kv_heads=1,
+    d_ff=32,
+    vocab_size=64,
+    max_seq_len=64,
+    rope_theta=10000.0,
+)
+
+MODELS: Dict[str, ModelConfig] = {
+    m.name: m
+    for m in (LLAMA3_8B, LLAMA2_13B, CODELLAMA_34B, QWEN2_72B,
+              TINY_MHA, TINY_GQA, TINY_MQA)
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model config by name."""
+    try:
+        return MODELS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODELS))
+        raise KeyError(f"unknown model {name!r}; known: {known}") from None

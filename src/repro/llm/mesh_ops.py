@@ -1,0 +1,181 @@
+"""Mesh-executed tensor ops with automatic padding.
+
+The distributed transformer (:mod:`repro.llm.distributed`) is composed
+from these wrappers.  Each op pads its operands up to the kernel's grid,
+runs the *functional* mesh kernel (MeshGEMM / MeshGEMV / dist-GEMM-T /
+K-tree reductions) on a mesh machine, and strips the padding — so every
+matrix product and every reduction of the model's forward pass actually
+executes through the paper's distributed algorithms, tile by tile.
+
+Element-wise work (activations, residuals, rotary rotation, masking)
+needs no data movement on a mesh — each core transforms its resident
+tile — so the wrappers perform it with plain numpy on the host side of
+the simulation; Section 2.3 makes the same observation for the real
+hardware.
+
+A shared :class:`MeshOpContext` carries the device/grid configuration
+and accumulates the traces of every kernel launched, so tests can assert
+PLMR-compliance properties of a whole model forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.collectives.allreduce import broadcast_from_root, ktree_reduce
+from repro.core.plmr import PLMRDevice
+from repro.core.device_presets import TINY_MESH
+from repro.errors import ShapeError
+from repro.gemm.gemm_t import MeshGEMMTransposed
+from repro.gemm.meshgemm import MeshGEMM
+from repro.gemv.meshgemv import MeshGEMV
+from repro.mesh.machine import MeshMachine
+from repro.mesh.trace import Trace
+
+
+def _pad_to(x: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Zero-pad a 2-D array up to ``rows x cols``."""
+    if x.shape == (rows, cols):
+        return x
+    out = np.zeros((rows, cols), dtype=x.dtype)
+    out[: x.shape[0], : x.shape[1]] = x
+    return out
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return -(-value // multiple) * multiple
+
+
+@dataclass
+class MeshOpContext:
+    """Configuration + trace accumulation for mesh-executed ops."""
+
+    device: PLMRDevice = field(default_factory=lambda: TINY_MESH)
+    grid: int = 4
+    enforce_memory: bool = False
+    traces: List[Tuple[str, Trace]] = field(default_factory=list)
+
+    def _machine(self) -> MeshMachine:
+        sub = self.device.submesh(self.grid, self.grid)
+        return MeshMachine(sub, enforce_memory=self.enforce_memory)
+
+    def _record(self, label: str, machine: MeshMachine) -> None:
+        self.traces.append((label, machine.trace))
+
+    # ------------------------------------------------------------------
+    # Matrix products
+    # ------------------------------------------------------------------
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``a @ b`` through functional MeshGEMM (with padding)."""
+        if a.shape[1] != b.shape[0]:
+            raise ShapeError(f"inner dims differ: {a.shape} @ {b.shape}")
+        g = self.grid
+        pa = _pad_to(a, _round_up(a.shape[0], g), _round_up(a.shape[1], g))
+        pb = _pad_to(b, _round_up(b.shape[0], g), _round_up(b.shape[1], g))
+        machine = self._machine()
+        out = MeshGEMM.run(machine, pa, pb)
+        self._record("meshgemm", machine)
+        return out[: a.shape[0], : b.shape[1]]
+
+    def gemm_t(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``a @ b.T`` through functional dist-GEMM-T (B untransposed)."""
+        if a.shape[1] != b.shape[1]:
+            raise ShapeError(f"K dims differ: {a.shape} vs {b.shape}")
+        g = self.grid
+        pa = _pad_to(a, _round_up(a.shape[0], g), _round_up(a.shape[1], g))
+        pb = _pad_to(b, _round_up(b.shape[0], g), _round_up(b.shape[1], g))
+        machine = self._machine()
+        out = MeshGEMMTransposed.run(machine, pa, pb)
+        self._record("meshgemm-t", machine)
+        return out[: a.shape[0], : b.shape[0]]
+
+    def gemv(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``a @ b`` (vector times matrix) through functional MeshGEMV."""
+        vec = np.asarray(a)
+        if vec.ndim != 1:
+            raise ShapeError(f"gemv expects a vector, got shape {vec.shape}")
+        if vec.shape[0] != b.shape[0]:
+            raise ShapeError(f"inner dims differ: {vec.shape} @ {b.shape}")
+        g = self.grid
+        pv = np.zeros(_round_up(vec.shape[0], g), dtype=vec.dtype)
+        pv[: vec.shape[0]] = vec
+        pb = _pad_to(b, pv.shape[0], _round_up(b.shape[1], g))
+        machine = self._machine()
+        out = MeshGEMV.run(machine, pv, pb)
+        self._record("meshgemv", machine)
+        return out[: b.shape[1]]
+
+    # ------------------------------------------------------------------
+    # Allreduce-based vector ops (the "GEMV solutions" of Section 2.3)
+    # ------------------------------------------------------------------
+    def _line_reduce(self, values: np.ndarray, op: str) -> float:
+        """Reduce a vector to a scalar with the two-way K-tree on one row."""
+        g = self.grid
+        machine = self._machine()
+        chunks = np.array_split(np.asarray(values, dtype=np.float64), g)
+        line = machine.topology.row(0)
+        for coord, chunk in zip(line, chunks):
+            if op == "add":
+                local = float(np.sum(chunk)) if chunk.size else 0.0
+            else:
+                local = float(np.max(chunk)) if chunk.size else -np.inf
+            machine.place("red.v", coord, np.array([local]))
+        roots = ktree_reduce(machine, [line], "red.v", k=2, op=op)
+        result = float(machine.core(roots[0]).load("red.v")[0])
+        self._record(f"ktree-{op}", machine)
+        return result
+
+    def reduce_sum(self, values: np.ndarray) -> float:
+        """Sum of a distributed vector via K-tree allreduce."""
+        return self._line_reduce(values, "add")
+
+    def reduce_max(self, values: np.ndarray) -> float:
+        """Max of a distributed vector via K-tree allreduce."""
+        return self._line_reduce(values, "max")
+
+    def rms_norm(self, x: np.ndarray, weight: np.ndarray, eps: float) -> np.ndarray:
+        """RMSNorm of a vector: local squares, K-tree sum, local scale."""
+        x = np.asarray(x)
+        total = self.reduce_sum(np.square(x))
+        rms = np.sqrt(total / x.shape[-1] + eps)
+        return x / rms * weight
+
+    def softmax(self, scores: np.ndarray) -> np.ndarray:
+        """Softmax of a vector: K-tree max, local exp, K-tree sum, scale.
+
+        ``-inf`` entries (causal masking) are handled exactly as a wafer
+        kernel would: they contribute zero after the exponent.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        finite = scores[np.isfinite(scores)]
+        if finite.size == 0:
+            raise ShapeError("softmax over fully masked scores")
+        peak = self.reduce_max(finite)
+        exps = np.exp(np.where(np.isfinite(scores), scores - peak, -np.inf))
+        exps = np.where(np.isfinite(scores), exps, 0.0)
+        total = self.reduce_sum(exps)
+        return exps / total
+
+    def rms_norm_rows(
+        self, x: np.ndarray, weight: np.ndarray, eps: float
+    ) -> np.ndarray:
+        """Row-wise RMSNorm of a matrix (prefill activations)."""
+        return np.stack([self.rms_norm(row, weight, eps) for row in x])
+
+    def softmax_rows(self, scores: np.ndarray) -> np.ndarray:
+        """Row-wise softmax of a score matrix (prefill attention)."""
+        return np.stack([self.softmax(row) for row in scores])
+
+    # ------------------------------------------------------------------
+    def total_kernels(self) -> int:
+        """Number of mesh kernels launched through this context."""
+        return len(self.traces)
+
+    def max_paths_per_core(self) -> int:
+        """Worst route-colour count over all launched kernels."""
+        if not self.traces:
+            return 0
+        return max(trace.max_paths_per_core for _label, trace in self.traces)

@@ -1,0 +1,208 @@
+"""Section 8 made quantitative: future-direction projections.
+
+The paper closes with four forward-looking claims; this module turns
+each into a computation over the calibrated models so they can be
+checked and explored:
+
+* **Hardware architecture** — 5-6x more per-core compute + SRAM removes
+  the pipeline stages; decode could reach ~10,000 tokens/s for a
+  13B-class model (:func:`resident_decode_projection`).
+* **LLM model design** — wafer-friendly architectures would use wider
+  layers and fewer of them; :func:`wider_variant` rebuilds a model at
+  constant parameter count with a width multiplier, and
+  :func:`width_study` shows decode latency improving as the sequential
+  layer chain shortens.
+* **Beyond Cerebras WSE** — the PLMR model covers Dojo-like and
+  Tenstorrent-like devices; :func:`cross_device_kernels` re-runs the
+  kernel comparison on them ("MeshGEMM/MeshGEMV remain better, at least
+  not worse, than baseline methods").
+* **TSMC System-on-Wafer** — ~40x more density on a wafer by 2027;
+  :func:`sow_density_projection` scales the fabric and reports the
+  resulting decode ceiling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.core.plmr import PLMRDevice
+from repro.errors import ConfigurationError
+from repro.gemm.base import GemmShape
+from repro.gemm.cannon import CannonGEMM
+from repro.gemm.meshgemm import MeshGEMM
+from repro.gemm.summa import SummaGEMM
+from repro.gemv.meshgemv import MeshGEMV
+from repro.gemv.pipeline_gemv import PipelineGEMV
+from repro.llm.config import ModelConfig
+from repro.llm.wafer_system import WaferLLMSystem
+from repro.runtime.scheduler import PipelineSchedule
+
+
+# ---------------------------------------------------------------------------
+# Hardware architecture: resident (pipeline-free) decode
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ResidentDecodeProjection:
+    """Decode rate today vs with pipeline stages eliminated."""
+
+    model: str
+    current_tokens_per_s: float
+    stages: int
+    projected_tokens_per_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Projected over current."""
+        return self.projected_tokens_per_s / self.current_tokens_per_s
+
+
+def resident_decode_projection(
+    model: ModelConfig, device: PLMRDevice, region_side: int,
+    context_len: int = 2048,
+) -> ResidentDecodeProjection:
+    """Section 8's headline: ~10k tokens/s for 13B once stages vanish.
+
+    With 5-6x more per-core SRAM/compute the model becomes resident and
+    the bubbled stage-cycles return as throughput: the projection scales
+    the current rate by the single-stream stage count.
+    """
+    system = WaferLLMSystem(device)
+    current = system.decode_throughput(model, context_len, region_side)
+    schedule = PipelineSchedule(model, device, region_side)
+    return ResidentDecodeProjection(
+        model=model.name,
+        current_tokens_per_s=current,
+        stages=schedule.num_stages,
+        projected_tokens_per_s=current * schedule.num_stages,
+    )
+
+
+# ---------------------------------------------------------------------------
+# LLM model design: wider layers
+# ---------------------------------------------------------------------------
+
+def wider_variant(model: ModelConfig, width_factor: float) -> ModelConfig:
+    """Rebuild a model wider and shallower at ~constant parameter count.
+
+    Layer parameters grow ~quadratically with width, so widths scale by
+    ``sqrt(width_factor)`` while the layer count divides by
+    ``width_factor``.  Head width is held at the original head_dim by
+    growing the head count.
+    """
+    if width_factor < 1.0:
+        raise ConfigurationError("width_factor must be >= 1")
+    scale = math.sqrt(width_factor)
+    head_dim = model.head_dim
+
+    def round_to(value: float, multiple: int) -> int:
+        return max(multiple, int(round(value / multiple)) * multiple)
+
+    new_d_model = round_to(model.d_model * scale, head_dim)
+    new_heads = new_d_model // head_dim
+    new_kv_heads = max(1, round(model.n_kv_heads * new_heads / model.n_heads))
+    while new_heads % new_kv_heads:
+        new_kv_heads -= 1
+    new_layers = max(1, round(model.num_layers / width_factor))
+    return replace(
+        model,
+        name=f"{model.name}-wide{width_factor:g}x",
+        d_model=new_d_model,
+        n_heads=new_heads,
+        n_kv_heads=new_kv_heads,
+        d_ff=round_to(model.d_ff * scale, 8),
+        num_layers=new_layers,
+    )
+
+
+def width_study(
+    model: ModelConfig,
+    device: PLMRDevice,
+    grid: int,
+    factors: Tuple[float, ...] = (1.0, 2.0, 4.0),
+    context_len: int = 2048,
+) -> List[Dict[str, float]]:
+    """Decode rate of progressively wider/shallower same-size variants."""
+    system = WaferLLMSystem(device)
+    rows = []
+    for factor in factors:
+        variant = model if factor == 1.0 else wider_variant(model, factor)
+        rows.append({
+            "factor": factor,
+            "layers": variant.num_layers,
+            "d_model": variant.d_model,
+            "params_b": variant.total_params / 1e9,
+            "decode_tok_s": system.decode_throughput(variant, context_len, grid),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Beyond the WSE: other PLMR devices
+# ---------------------------------------------------------------------------
+
+def cross_device_kernels(
+    devices: List[PLMRDevice], dim: int = 4096
+) -> List[Dict[str, float]]:
+    """MeshGEMM/MeshGEMV vs baselines on each device's full fabric.
+
+    Returns one row per device with total cycles per kernel; the
+    Section 8 claim is MeshGEMM/MeshGEMV "remain better, at least not
+    worse" on every mesh-like device.
+    """
+    rows = []
+    for device in devices:
+        grid = min(device.mesh_width, device.mesh_height, dim)
+        shape = GemmShape.square(dim)
+        row: Dict[str, float] = {"device": device.name, "grid": grid}
+        row["meshgemm"] = MeshGEMM.estimate(device, shape, grid).total_cycles
+        row["cannon"] = CannonGEMM.estimate(device, shape, grid).total_cycles
+        row["summa"] = SummaGEMM.estimate(device, shape, grid).total_cycles
+        row["meshgemv"] = MeshGEMV.estimate(
+            device, rows=dim, cols=dim, grid=grid).total_cycles
+        row["pipeline_gemv"] = PipelineGEMV.estimate(
+            device, rows=dim, cols=dim, grid=grid).total_cycles
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# TSMC System-on-Wafer density scaling
+# ---------------------------------------------------------------------------
+
+def sow_density_projection(
+    base: PLMRDevice, model: ModelConfig, density_factor: float = 40.0,
+) -> Dict[str, float]:
+    """Scale the fabric by the expected SoW density gain and re-estimate.
+
+    Cores multiply by ``density_factor`` (mesh side by its square root);
+    the PLMR properties persist — L grows with the side — so the model
+    and kernels keep applying, which is the paper's long-term-relevance
+    argument.
+    """
+    if density_factor < 1:
+        raise ConfigurationError("density_factor must be >= 1")
+    side_scale = math.sqrt(density_factor)
+    future = replace(
+        base,
+        name=f"{base.name}-sow{density_factor:g}x",
+        mesh_width=int(base.mesh_width * side_scale),
+        mesh_height=int(base.mesh_height * side_scale),
+    )
+    system_now = WaferLLMSystem(base)
+    system_future = WaferLLMSystem(future)
+    grid_now = system_now.decode_grid(model)
+    grid_future = int(grid_now * side_scale)
+    return {
+        "base_cores": float(base.num_cores),
+        "future_cores": float(future.num_cores),
+        "base_decode_tok_s": system_now.decode_throughput(model, 2048, grid_now),
+        "future_decode_tok_s": system_future.decode_throughput(
+            model, 2048, grid_future),
+        "base_prefill_tok_s": system_now.prefill_throughput(model, 4096),
+        "future_prefill_tok_s": system_future.prefill_throughput(
+            model, 4096, min(future.mesh_width, future.mesh_height) * 3 // 4),
+        "future_latency_variance": future.latency_variance,
+    }

@@ -1,0 +1,161 @@
+"""Weight quantization: trading precision for the M property.
+
+The paper runs fp16 and notes repeatedly that the 48 KB per-core SRAM is
+the binding constraint — it forces pipeline parallelism (Section 7.5)
+and caps KV capacity (Table 5).  Quantization attacks exactly that
+constraint: int8 halves every per-core weight figure, which the memory
+audit, KV-capacity model and prefill weight-streaming term all pick up
+automatically through ``dtype_bytes``.
+
+This module provides the functional side: symmetric per-output-channel
+quantization of a synthesized checkpoint, dequantization, and error
+metrics — so the examples/tests can show both the accuracy cost (tiny)
+and the system benefit (smaller stages, more KV tokens, faster weight
+streaming) of the same transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.llm.config import ModelConfig
+from repro.llm.reference import LayerWeights, ModelWeights
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """Symmetric per-output-channel integer quantization of a matrix."""
+
+    data: np.ndarray     # int8/int16 codes, same shape as the original
+    scales: np.ndarray   # (cols,) fp64 scale per output channel
+    bits: int
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the floating-point tensor."""
+        return self.data.astype(np.float64) * self.scales
+
+    @property
+    def nbytes(self) -> int:
+        """Storage of codes + scales."""
+        return self.data.nbytes + self.scales.nbytes
+
+
+def quantize_tensor(weight: np.ndarray, bits: int = 8) -> QuantizedTensor:
+    """Quantize a 2-D weight (rows x cols) per output channel (column)."""
+    if bits not in (4, 8, 16):
+        raise ConfigurationError(f"unsupported bit width {bits}")
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ConfigurationError("expected a 2-D weight matrix")
+    qmax = 2 ** (bits - 1) - 1
+    peak = np.max(np.abs(weight), axis=0)
+    scales = np.where(peak > 0, peak / qmax, 1.0)
+    codes = np.clip(np.round(weight / scales), -qmax, qmax)
+    dtype = np.int8 if bits <= 8 else np.int16
+    return QuantizedTensor(data=codes.astype(dtype), scales=scales, bits=bits)
+
+
+@dataclass(frozen=True)
+class QuantizedModelWeights:
+    """All matrix weights of a model, quantized; norms stay exact."""
+
+    config: ModelConfig
+    bits: int
+    embedding: QuantizedTensor
+    layers: List[Dict[str, QuantizedTensor]]
+    norms: List[Dict[str, np.ndarray]]
+    final_norm: np.ndarray
+    lm_head: QuantizedTensor
+
+    def dequantize(self) -> ModelWeights:
+        """Materialize floating-point weights for inference."""
+        layers = []
+        for quantized, norms in zip(self.layers, self.norms):
+            layers.append(LayerWeights(
+                wq=quantized["wq"].dequantize(),
+                wk=quantized["wk"].dequantize(),
+                wv=quantized["wv"].dequantize(),
+                wo=quantized["wo"].dequantize(),
+                w_gate=quantized["w_gate"].dequantize(),
+                w_up=quantized["w_up"].dequantize(),
+                w_down=quantized["w_down"].dequantize(),
+                attn_norm=norms["attn_norm"],
+                ffn_norm=norms["ffn_norm"],
+            ))
+        config = replace(
+            self.config,
+            name=f"{self.config.name}-int{self.bits}",
+            dtype_bytes=max(1, self.bits // 8),
+        )
+        return ModelWeights(
+            config=config,
+            embedding=self.embedding.dequantize(),
+            layers=layers,
+            final_norm=self.final_norm,
+            lm_head=self.lm_head.dequantize(),
+        )
+
+    @property
+    def weight_bytes(self) -> int:
+        """Total quantized storage (codes + scales)."""
+        total = self.embedding.nbytes + self.lm_head.nbytes
+        for layer in self.layers:
+            total += sum(t.nbytes for t in layer.values())
+        return total
+
+
+_MATRIX_FIELDS = ("wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down")
+
+
+def quantize_weights(weights: ModelWeights, bits: int = 8) -> QuantizedModelWeights:
+    """Quantize every matrix weight of a model (norm vectors stay fp)."""
+    layers = []
+    norms = []
+    for layer in weights.layers:
+        layers.append({
+            field: quantize_tensor(getattr(layer, field), bits)
+            for field in _MATRIX_FIELDS
+        })
+        norms.append({
+            "attn_norm": layer.attn_norm,
+            "ffn_norm": layer.ffn_norm,
+        })
+    return QuantizedModelWeights(
+        config=weights.config,
+        bits=bits,
+        embedding=quantize_tensor(weights.embedding, bits),
+        layers=layers,
+        norms=norms,
+        final_norm=weights.final_norm,
+        lm_head=quantize_tensor(weights.lm_head, bits),
+    )
+
+
+def quantization_error(weights: ModelWeights, bits: int = 8) -> float:
+    """Worst relative Frobenius error across all quantized matrices."""
+    worst = 0.0
+    quantized = quantize_weights(weights, bits)
+    for layer, qlayer in zip(weights.layers, quantized.layers):
+        for field in _MATRIX_FIELDS:
+            original = getattr(layer, field)
+            restored = qlayer[field].dequantize()
+            norm = np.linalg.norm(original)
+            if norm > 0:
+                worst = max(worst,
+                            np.linalg.norm(original - restored) / norm)
+    return worst
+
+
+def quantized_config(model: ModelConfig, bits: int = 8) -> ModelConfig:
+    """The model config at the quantized element width (for cost models)."""
+    if bits not in (4, 8, 16):
+        raise ConfigurationError(f"unsupported bit width {bits}")
+    return replace(
+        model,
+        name=f"{model.name}-int{bits}",
+        dtype_bytes=max(1, bits // 8),
+    )

@@ -1,0 +1,161 @@
+"""Tensor layouts on the 2D mesh — the paper's ``E_x F_y`` notation.
+
+Section 4 describes parallelism plans as subscripted/superscripted tensor
+dimensions: ``E_x`` means dimension E is *partitioned* along the mesh's
+X axis; ``L^x`` means L is *replicated* along X (every column holds a
+copy).  :class:`TensorLayout` formalizes exactly that for 2-D tensors,
+computes per-core tile shapes and memory, and prices layout transitions
+(the prefill -> decode weight re-placement of Section 4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.plmr import PLMRDevice
+from repro.errors import PlacementError
+from repro.mesh.cost_model import CommPhase, KernelCost, estimate
+
+
+class AxisMap(enum.Enum):
+    """How a tensor dimension maps onto the core mesh."""
+
+    PARTITION_X = "x"      # split across mesh columns
+    PARTITION_Y = "y"      # split across mesh rows
+    REPLICATE = "rep"      # every core along the unused axis holds a copy
+
+
+@dataclass(frozen=True)
+class TensorLayout:
+    """Placement of a ``rows x cols`` tensor on a ``gw x gh`` core grid.
+
+    Exactly one dimension may map to each mesh axis; a dimension mapped
+    ``REPLICATE`` is not split, and the mesh axis left without a
+    partitioned dimension holds replicas.
+    """
+
+    rows: int
+    cols: int
+    row_map: AxisMap
+    col_map: AxisMap
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        partitions = [
+            m for m in (self.row_map, self.col_map) if m is not AxisMap.REPLICATE
+        ]
+        if len(partitions) == 2 and partitions[0] == partitions[1]:
+            raise PlacementError(
+                "both dimensions cannot partition the same mesh axis"
+            )
+        if self.rows < 1 or self.cols < 1:
+            raise PlacementError(f"tensor dims must be positive: {self}")
+
+    # ------------------------------------------------------------------
+    def tile_shape(self, grid_w: int, grid_h: int) -> Tuple[int, int]:
+        """Per-core tile shape (ceiling division)."""
+        tile_rows, tile_cols = self.rows, self.cols
+        if self.row_map is AxisMap.PARTITION_X:
+            tile_rows = -(-self.rows // grid_w)
+        elif self.row_map is AxisMap.PARTITION_Y:
+            tile_rows = -(-self.rows // grid_h)
+        if self.col_map is AxisMap.PARTITION_X:
+            tile_cols = -(-self.cols // grid_w)
+        elif self.col_map is AxisMap.PARTITION_Y:
+            tile_cols = -(-self.cols // grid_h)
+        return tile_rows, tile_cols
+
+    def bytes_per_core(self, grid_w: int, grid_h: int) -> int:
+        """Per-core resident bytes of this tensor."""
+        tr, tc = self.tile_shape(grid_w, grid_h)
+        return tr * tc * self.dtype_bytes
+
+    def total_bytes(self) -> int:
+        """Dense tensor size (one logical copy)."""
+        return self.rows * self.cols * self.dtype_bytes
+
+    def replication_factor(self, grid_w: int, grid_h: int) -> int:
+        """How many copies of the tensor the mesh holds in aggregate."""
+        used = {self.row_map, self.col_map}
+        factor = 1
+        if AxisMap.PARTITION_X not in used:
+            factor *= grid_w
+        if AxisMap.PARTITION_Y not in used:
+            factor *= grid_h
+        return factor
+
+    def notation(self, row_name: str, col_name: str) -> str:
+        """Render in the paper's notation, e.g. ``L_y E_x`` or ``E_y L^x``."""
+        def mark(name: str, mapping: AxisMap, other: AxisMap) -> str:
+            if mapping is AxisMap.PARTITION_X:
+                return f"{name}_x"
+            if mapping is AxisMap.PARTITION_Y:
+                return f"{name}_y"
+            # Replicated along whichever axis the other dim doesn't use.
+            axis = "y" if other is AxisMap.PARTITION_X else "x"
+            return f"{name}^{axis}"
+
+        return (
+            f"{mark(row_name, self.row_map, self.col_map)} "
+            f"{mark(col_name, self.col_map, self.row_map)}"
+        )
+
+    # ------------------------------------------------------------------
+    def transition_cost(
+        self, other: "TensorLayout", device: PLMRDevice
+    ) -> KernelCost:
+        """Cycle cost of re-placing this tensor into ``other``'s layout.
+
+        Re-placement streams every element once across the NoC; with all
+        links active the transfer is bandwidth-bound at the bisection,
+        plus a worst-case traversal latency (Section 4.4: the transition
+        "completes instantly" relative to off-chip alternatives because
+        the aggregated NoC bandwidth is enormous — this model shows why).
+        """
+        if (self.rows, self.cols) != (other.rows, other.cols):
+            raise PlacementError(
+                f"cannot transition {self.rows}x{self.cols} into "
+                f"{other.rows}x{other.cols}"
+            )
+        moved = other.total_bytes() * other.replication_factor(
+            device.mesh_width, device.mesh_height
+        )
+        # Bisection links: one per row of cores (crossing a vertical cut).
+        bisection_links = max(1, device.mesh_height)
+        per_link_bytes = moved / bisection_links
+        phase = CommPhase(
+            label="re-placement",
+            hop_distance=float(device.mesh_width + device.mesh_height),
+            payload_bytes=per_link_bytes,
+        )
+        return estimate("re-placement", device, [phase])
+
+
+def activation_prefill_layout(seq_len: int, d_model: int) -> TensorLayout:
+    """Prefill activations: ``B L_y E_x`` (Figure 3, step 1)."""
+    return TensorLayout(seq_len, d_model, AxisMap.PARTITION_Y, AxisMap.PARTITION_X)
+
+
+def activation_decode_layout(d_model: int) -> TensorLayout:
+    """Decode activations: ``B E_y L^x`` (Figure 4, step 1).
+
+    The length-1 sequence dimension is replicated along X; E partitions Y.
+    """
+    return TensorLayout(d_model, 1, AxisMap.PARTITION_Y, AxisMap.REPLICATE)
+
+
+def weight_layout(rows: int, cols: int) -> TensorLayout:
+    """Weights: both dimensions partitioned (``E_y F_x``)."""
+    return TensorLayout(rows, cols, AxisMap.PARTITION_Y, AxisMap.PARTITION_X)
+
+
+def weight_layout_decode(rows: int, cols: int) -> TensorLayout:
+    """Decode-optimized weight placement (transposed partitioning).
+
+    Pre-optimizing ``W_O`` / ``W_out`` for distributed GEMV flips which
+    mesh axis partitions which dimension, eliminating mesh transposes
+    between chained GEMVs (Figure 4, step 3).
+    """
+    return TensorLayout(rows, cols, AxisMap.PARTITION_X, AxisMap.PARTITION_Y)

@@ -1,0 +1,109 @@
+"""Whole-model trace analysis: aggregate kernel traces into one report.
+
+A functional run of :class:`~repro.llm.distributed.WaferTransformer`
+launches hundreds of mesh kernels through its
+:class:`~repro.llm.mesh_ops.MeshOpContext`.  This module rolls those
+per-kernel traces up into a model-level view: kernel mix, total MACs and
+NoC bytes, worst route-colour pressure, and a PLMR verdict for the run
+as a whole — letting tests (and users) assert that an *entire inference
+pass*, not just individual kernels, stayed compliant.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.llm.mesh_ops import MeshOpContext
+from repro.mesh.trace import Trace
+
+
+@dataclass(frozen=True)
+class KernelClassStats:
+    """Aggregated statistics for one kernel label."""
+
+    label: str
+    launches: int
+    total_macs: float
+    total_payload_bytes: int
+    worst_critical_hops: int
+    worst_paths_per_core: int
+
+
+@dataclass(frozen=True)
+class ModelRunReport:
+    """Aggregate of every kernel launched during a model run."""
+
+    kernel_classes: Tuple[KernelClassStats, ...]
+    total_kernels: int
+    total_macs: float
+    total_payload_bytes: int
+    worst_paths_per_core: int
+
+    def by_label(self) -> Dict[str, KernelClassStats]:
+        """Index the kernel classes by label."""
+        return {stats.label: stats for stats in self.kernel_classes}
+
+    def dominant_kernel(self) -> str:
+        """The label that launched most often."""
+        return max(self.kernel_classes, key=lambda s: s.launches).label
+
+    def compliant_routing(self, max_paths: int) -> bool:
+        """True when no kernel exceeded the routing budget (R)."""
+        return self.worst_paths_per_core <= max_paths
+
+    def summary_rows(self) -> List[List[str]]:
+        """Rows for a report table."""
+        rows = []
+        for stats in sorted(self.kernel_classes,
+                            key=lambda s: -s.launches):
+            rows.append([
+                stats.label,
+                str(stats.launches),
+                f"{stats.total_macs:,.0f}",
+                f"{stats.total_payload_bytes:,}",
+                str(stats.worst_critical_hops),
+                str(stats.worst_paths_per_core),
+            ])
+        return rows
+
+
+def analyze(ops: MeshOpContext) -> ModelRunReport:
+    """Roll the context's per-kernel traces into a model-level report."""
+    grouped: Dict[str, List[Trace]] = {}
+    for label, trace in ops.traces:
+        grouped.setdefault(label, []).append(trace)
+
+    classes = []
+    total_macs = 0.0
+    total_payload = 0
+    worst_paths = 0
+    for label, traces in sorted(grouped.items()):
+        macs = sum(t.total_macs for t in traces)
+        payload = sum(t.total_payload_bytes for t in traces)
+        hops = max((t.critical_path_hops for t in traces), default=0)
+        paths = max((t.max_paths_per_core for t in traces), default=0)
+        classes.append(KernelClassStats(
+            label=label,
+            launches=len(traces),
+            total_macs=macs,
+            total_payload_bytes=payload,
+            worst_critical_hops=hops,
+            worst_paths_per_core=paths,
+        ))
+        total_macs += macs
+        total_payload += payload
+        worst_paths = max(worst_paths, paths)
+    return ModelRunReport(
+        kernel_classes=tuple(classes),
+        total_kernels=len(ops.traces),
+        total_macs=total_macs,
+        total_payload_bytes=total_payload,
+        worst_paths_per_core=worst_paths,
+    )
+
+
+def kernel_mix(ops: MeshOpContext) -> Dict[str, int]:
+    """Launch counts per kernel label (quick view)."""
+    return dict(Counter(label for label, _trace in ops.traces))

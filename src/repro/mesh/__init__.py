@@ -1,0 +1,57 @@
+"""The wafer-scale mesh substrate: topology, cores, fabric, machine, costs."""
+
+from repro.mesh.topology import Coord, MeshTopology
+from repro.mesh.core_sim import Core
+from repro.mesh.fabric import FabricModel, Flow
+from repro.mesh.machine import MeshMachine
+from repro.mesh.trace import CommRecord, ComputeRecord, Trace
+from repro.mesh.cost_model import (
+    CommPhase,
+    ComputePhase,
+    KernelCost,
+    LoopPhase,
+    ReducePhase,
+    estimate,
+)
+from repro.mesh.netsim import (
+    FlowResult,
+    FlowSpec,
+    allgather_incast_slowdown,
+    cannon_wraparound_slowdown,
+    phase_makespan,
+    simulate_flows,
+)
+from repro.mesh.energy import (
+    EnergyBreakdown,
+    activity_energy,
+    energy_ratio,
+    wall_clock_energy,
+)
+
+__all__ = [
+    "Coord",
+    "MeshTopology",
+    "Core",
+    "Flow",
+    "FabricModel",
+    "MeshMachine",
+    "Trace",
+    "CommRecord",
+    "ComputeRecord",
+    "ComputePhase",
+    "CommPhase",
+    "ReducePhase",
+    "LoopPhase",
+    "KernelCost",
+    "estimate",
+    "EnergyBreakdown",
+    "activity_energy",
+    "energy_ratio",
+    "wall_clock_energy",
+    "FlowSpec",
+    "FlowResult",
+    "simulate_flows",
+    "phase_makespan",
+    "cannon_wraparound_slowdown",
+    "allgather_incast_slowdown",
+]

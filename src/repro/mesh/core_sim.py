@@ -1,0 +1,109 @@
+"""The per-core model: local memory with capacity enforcement.
+
+Each wafer core owns a small SRAM (48 KB on WSE-2).  The functional
+machine stores named numpy tiles in each core's memory; any allocation
+that would push the resident total past the capacity raises
+:class:`~repro.errors.MemoryCapacityError`, which is how the simulator
+makes M-property violations (e.g. allgather-GEMM's inflated working set,
+or concat-based KV cache growth on the last row) observable instead of
+theoretical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MemoryCapacityError, SimulationError
+
+Coord = Tuple[int, int]
+
+
+class Core:
+    """One wafer core: a coordinate plus a capacity-enforced tile store."""
+
+    __slots__ = ("coord", "capacity_bytes", "_tiles", "_resident_bytes", "peak_bytes")
+
+    def __init__(self, coord: Coord, capacity_bytes: int):
+        self.coord = coord
+        self.capacity_bytes = capacity_bytes
+        self._tiles: Dict[str, np.ndarray] = {}
+        self._resident_bytes = 0
+        self.peak_bytes = 0
+
+    # -- storage --------------------------------------------------------
+    def store(self, name: str, tile: np.ndarray) -> None:
+        """Place (or replace) a named tile in local memory.
+
+        Raises
+        ------
+        MemoryCapacityError
+            If the allocation would exceed this core's SRAM capacity.
+        """
+        tile = np.asarray(tile)
+        old = self._tiles.get(name)
+        delta = tile.nbytes - (old.nbytes if old is not None else 0)
+        if self._resident_bytes + delta > self.capacity_bytes:
+            raise MemoryCapacityError(
+                self.coord,
+                requested=tile.nbytes,
+                capacity=self.capacity_bytes,
+                resident=self._resident_bytes,
+            )
+        self._tiles[name] = tile
+        self._resident_bytes += delta
+        if self._resident_bytes > self.peak_bytes:
+            self.peak_bytes = self._resident_bytes
+
+    def load(self, name: str) -> np.ndarray:
+        """Read a named tile; raises :class:`SimulationError` if missing."""
+        try:
+            return self._tiles[name]
+        except KeyError:
+            raise SimulationError(
+                f"core {self.coord} has no tile named {name!r}; "
+                f"resident: {sorted(self._tiles)}"
+            ) from None
+
+    def load_optional(self, name: str) -> Optional[np.ndarray]:
+        """Read a named tile, or ``None`` when absent."""
+        return self._tiles.get(name)
+
+    def free(self, name: str) -> None:
+        """Release a named tile; missing names are ignored."""
+        tile = self._tiles.pop(name, None)
+        if tile is not None:
+            self._resident_bytes -= tile.nbytes
+
+    def has(self, name: str) -> bool:
+        """True when a tile with this name is resident."""
+        return name in self._tiles
+
+    def rename(self, old: str, new: str) -> None:
+        """Rename a resident tile without copying."""
+        tile = self.load(old)
+        self._tiles.pop(old)
+        # No capacity change: same buffer under a new name.
+        self._tiles[new] = tile
+
+    def tile_names(self) -> Iterator[str]:
+        """Iterate names of resident tiles."""
+        return iter(sorted(self._tiles))
+
+    # -- accounting -------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently resident in this core's SRAM."""
+        return self._resident_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining SRAM capacity."""
+        return self.capacity_bytes - self._resident_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Core({self.coord}, {self._resident_bytes}/{self.capacity_bytes} B, "
+            f"{len(self._tiles)} tiles)"
+        )

@@ -1,0 +1,241 @@
+"""Analytic cycle model for mesh kernels.
+
+The functional machine (:mod:`repro.mesh.machine`) gives correctness; this
+module gives performance.  Kernels describe themselves as a sequence of
+*phases*; the estimator turns phases into cycles using only PLMR device
+parameters:
+
+* a :class:`ComputePhase` costs ``macs / macs_per_cycle`` plus a small
+  fixed overhead (loop setup, descriptor programming);
+* a :class:`CommPhase` streams a payload over a path: the head wavelet
+  pays ``hops * hop_cycles``, the body pipelines at the link width;
+* a :class:`ReducePhase` models sequential add stages on an aggregation
+  path (the paper's GEMV critical-path metric): every stage pays its hop
+  latency, the streamed payload, and the elementwise adds;
+* a :class:`LoopPhase` repeats a compute phase and a comm phase ``steps``
+  times, optionally overlapping them (wafer cores overlap ingress, egress
+  and compute at cycle granularity — the P property), so the per-step cost
+  is ``max(compute, comm)`` with one fill/drain term.
+
+Cycle totals are reported three ways, matching how Figure 9/10 plot them:
+``compute_cycles`` (pure arithmetic), ``comm_cycles`` (raw communication),
+and ``total_cycles`` (with overlap applied; exposed communication is
+``total - compute``).
+
+Calibration notes live in DESIGN.md.  The fixed per-phase overhead below
+is the one free parameter; it is chosen once (not per experiment) so that
+WSE-2 MeshGEMV on a 16K square matrix lands near the paper's 0.0012 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from repro.core.plmr import PLMRDevice
+from repro.errors import ConfigurationError
+
+#: Fixed cycles charged per phase for control overhead (loop bookkeeping,
+#: router/descriptor setup).  One global constant — never tuned per table.
+DEFAULT_PHASE_OVERHEAD_CYCLES = 20.0
+
+
+@dataclass(frozen=True)
+class ComputePhase:
+    """Per-core arithmetic: ``macs_per_core`` MACs, repeated ``repeats`` times."""
+
+    label: str
+    macs_per_core: float
+    repeats: int = 1
+    overhead_cycles: float = DEFAULT_PHASE_OVERHEAD_CYCLES
+
+    def cycles(self, device: PLMRDevice) -> float:
+        """Total cycles of this phase on ``device``."""
+        per_rep = self.overhead_cycles + self.macs_per_core / device.macs_per_cycle
+        return self.repeats * per_rep
+
+
+@dataclass(frozen=True)
+class CommPhase:
+    """One streamed transfer: ``payload_bytes`` over ``hop_distance`` hops."""
+
+    label: str
+    hop_distance: float
+    payload_bytes: float
+    repeats: int = 1
+    overhead_cycles: float = DEFAULT_PHASE_OVERHEAD_CYCLES
+
+    def cycles(self, device: PLMRDevice) -> float:
+        """Total cycles of this phase on ``device``."""
+        head = self.hop_distance * device.hop_cycles
+        body = self.payload_bytes / device.link_bytes_per_cycle
+        return self.repeats * (self.overhead_cycles + head + body)
+
+
+#: Per-stage launch cost of a streaming reduction: receive descriptor,
+#: start the add-and-forward engine.  One global constant.
+STAGE_LAUNCH_CYCLES = 4.0
+
+
+@dataclass(frozen=True)
+class ReducePhase:
+    """Sequential reduction stages along an aggregation path.
+
+    Each of the ``stages`` stages forwards ``payload_bytes`` across
+    ``stage_hop_distance`` hops and performs ``stage_add_elems``
+    elementwise additions — this is what makes pipeline allreduce O(N)
+    and the two-way K-tree O(K * N^(1/K)).
+
+    With ``pipelined=True`` (hardware streaming reduce: wavelets are
+    added and forwarded element by element, as the Cerebras fabric and
+    the paper's kernels do) the critical path is the *wavefront*: every
+    stage pays its hop latency plus a launch constant, and the payload
+    body streams behind the wavefront once.  With ``pipelined=False``
+    (synchronized rounds with a data dependency between steps, as in
+    ring allreduce) every stage pays the full transfer and add.
+    """
+
+    label: str
+    stages: int
+    stage_hop_distance: float
+    payload_bytes: float
+    stage_add_elems: float
+    repeats: int = 1
+    pipelined: bool = True
+    overhead_cycles: float = DEFAULT_PHASE_OVERHEAD_CYCLES
+
+    def cycles(self, device: PLMRDevice) -> float:
+        """Total cycles of this phase on ``device``."""
+        stream = self.payload_bytes / device.link_bytes_per_cycle
+        adds = self.stage_add_elems / device.macs_per_cycle
+        hop = self.stage_hop_distance * device.hop_cycles
+        if self.pipelined:
+            body = self.stages * (hop + STAGE_LAUNCH_CYCLES) + stream + adds
+        else:
+            body = self.stages * (hop + STAGE_LAUNCH_CYCLES + stream + adds)
+        return self.repeats * (self.overhead_cycles + body)
+
+
+@dataclass(frozen=True)
+class LoopPhase:
+    """A compute-shift style loop: ``steps`` iterations of compute + comm.
+
+    With ``overlap=True`` (the default — wafer cores double-buffer and the
+    router runs concurrently with the CE) each iteration costs the max of
+    the two, and one fill/drain term of the smaller is added.
+    """
+
+    label: str
+    steps: int
+    compute: ComputePhase
+    comm: Union[CommPhase, ReducePhase]
+    overlap: bool = True
+
+    def _per_step(self, device: PLMRDevice) -> tuple:
+        compute = self.compute.cycles(device)
+        comm = self.comm.cycles(device)
+        return compute, comm
+
+    def cycles(self, device: PLMRDevice) -> float:
+        """Total cycles of the loop with the overlap model applied."""
+        compute, comm = self._per_step(device)
+        if self.steps <= 0:
+            return 0.0
+        if self.overlap:
+            return self.steps * max(compute, comm) + min(compute, comm)
+        return self.steps * (compute + comm)
+
+    def compute_cycles(self, device: PLMRDevice) -> float:
+        """Pure-arithmetic cycles inside the loop."""
+        return self.steps * self.compute.cycles(device)
+
+    def comm_cycles(self, device: PLMRDevice) -> float:
+        """Raw communication cycles inside the loop (ignoring overlap)."""
+        return self.steps * self.comm.cycles(device)
+
+
+Phase = Union[ComputePhase, CommPhase, ReducePhase, LoopPhase]
+
+
+@dataclass
+class KernelCost:
+    """Cycle totals of one kernel execution on one device."""
+
+    name: str
+    device: PLMRDevice
+    compute_cycles: float
+    comm_cycles: float
+    total_cycles: float
+
+    @property
+    def exposed_comm_cycles(self) -> float:
+        """Communication not hidden behind compute."""
+        return max(0.0, self.total_cycles - self.compute_cycles)
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock time of the kernel."""
+        return self.device.cycles_to_seconds(self.total_cycles)
+
+    @property
+    def milliseconds(self) -> float:
+        """Wall-clock time in milliseconds (the paper's Table 6/7 unit)."""
+        return self.seconds * 1e3
+
+    @property
+    def energy_joules(self) -> float:
+        """Whole-device wall-clock energy (the Table 6-8 accounting)."""
+        return self.device.energy_joules(self.seconds)
+
+    def scaled(self, factor: float) -> "KernelCost":
+        """This cost repeated ``factor`` times (e.g. per-layer -> model)."""
+        return KernelCost(
+            name=self.name,
+            device=self.device,
+            compute_cycles=self.compute_cycles * factor,
+            comm_cycles=self.comm_cycles * factor,
+            total_cycles=self.total_cycles * factor,
+        )
+
+    def __add__(self, other: "KernelCost") -> "KernelCost":
+        if self.device is not other.device and self.device != other.device:
+            raise ConfigurationError(
+                f"cannot add costs from different devices: "
+                f"{self.device.name} vs {other.device.name}"
+            )
+        return KernelCost(
+            name=f"{self.name}+{other.name}",
+            device=self.device,
+            compute_cycles=self.compute_cycles + other.compute_cycles,
+            comm_cycles=self.comm_cycles + other.comm_cycles,
+            total_cycles=self.total_cycles + other.total_cycles,
+        )
+
+
+def estimate(name: str, device: PLMRDevice, phases: Sequence[Phase]) -> KernelCost:
+    """Evaluate an ordered phase list into a :class:`KernelCost`."""
+    compute = 0.0
+    comm = 0.0
+    total = 0.0
+    for phase in phases:
+        if isinstance(phase, LoopPhase):
+            compute += phase.compute_cycles(device)
+            comm += phase.comm_cycles(device)
+            total += phase.cycles(device)
+        elif isinstance(phase, ComputePhase):
+            cycles = phase.cycles(device)
+            compute += cycles
+            total += cycles
+        elif isinstance(phase, (CommPhase, ReducePhase)):
+            cycles = phase.cycles(device)
+            comm += cycles
+            total += cycles
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(f"unknown phase type {type(phase).__name__}")
+    return KernelCost(
+        name=name,
+        device=device,
+        compute_cycles=compute,
+        comm_cycles=comm,
+        total_cycles=total,
+    )

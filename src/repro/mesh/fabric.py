@@ -1,0 +1,132 @@
+"""Fabric (NoC) model: flows, route colours, and R-property enforcement.
+
+Communication on the machine is expressed as *flows*: a source core
+streaming a named tile to one destination (unicast) or several
+(multicast along a row/column, as Cerebras broadcast routes do).  Every
+flow belongs to a *pattern* — the route colour programmed into the
+routers.  Wafer NoCs only have a few colour bits, so the number of
+distinct patterns a core participates in over a kernel is the paper's
+"paths per core" metric; :class:`FabricModel` counts them and can enforce
+the device limit.
+
+Messages themselves are tiny (32-bit wavelets on WSE-2).  Tiles larger
+than one message are *streamed*: latency = hops + ceil(bytes / link
+width) cycles.  The fabric model exposes that arithmetic to the cost
+model and validates nothing about payload size except when a caller asks
+for strict single-message semantics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.plmr import PLMRDevice
+from repro.errors import MessageSizeError, RoutingResourceError
+from repro.mesh.topology import Coord, MeshTopology
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One source streaming one tile to one or more destinations.
+
+    ``src_name`` is the tile read at the source; ``dst_name`` the name it
+    is stored under at each destination.
+    """
+
+    src: Coord
+    dsts: Tuple[Coord, ...]
+    src_name: str
+    dst_name: str
+
+    @staticmethod
+    def unicast(src: Coord, dst: Coord, src_name: str, dst_name: str) -> "Flow":
+        """Build a single-destination flow."""
+        return Flow(src=src, dsts=(dst,), src_name=src_name, dst_name=dst_name)
+
+    @staticmethod
+    def multicast(
+        src: Coord, dsts: Sequence[Coord], src_name: str, dst_name: str
+    ) -> "Flow":
+        """Build a one-to-many flow (hardware broadcast along a route)."""
+        return Flow(src=src, dsts=tuple(dsts), src_name=src_name, dst_name=dst_name)
+
+
+class FabricModel:
+    """Routing-resource accounting for one mesh.
+
+    Tracks, per core, the set of route colours (pattern names) whose XY
+    routes touch it.  With ``enforce=True`` the fabric raises
+    :class:`RoutingResourceError` the moment any core would exceed the
+    device's ``max_paths_per_core`` — turning R violations into hard
+    failures exactly as a real router-programming step would fail.
+    """
+
+    def __init__(self, device: PLMRDevice, topology: MeshTopology, enforce: bool = False):
+        self.device = device
+        self.topology = topology
+        self.enforce = enforce
+        self._colours_per_core: Dict[Coord, Set[str]] = defaultdict(set)
+
+    def route_cores(self, flow: Flow) -> Set[Coord]:
+        """All cores touched by a flow's XY route(s), endpoints included."""
+        touched: Set[Coord] = set()
+        for dst in flow.dsts:
+            touched.update(self.topology.xy_route(flow.src, dst))
+        return touched
+
+    def flow_hops(self, flow: Flow) -> int:
+        """Critical-path hops of a flow: distance to the farthest dst."""
+        if not flow.dsts:
+            return 0
+        return max(self.topology.hop_distance(flow.src, dst) for dst in flow.dsts)
+
+    def register(self, pattern: str, flows: Sequence[Flow]) -> Dict[Coord, Set[str]]:
+        """Account one communication phase under a route colour.
+
+        Returns the mapping of touched cores to the colours added, which
+        the machine forwards to the trace.
+
+        Raises
+        ------
+        RoutingResourceError
+            When enforcement is on and a core exceeds its colour budget.
+        """
+        touched: Dict[Coord, Set[str]] = {}
+        for flow in flows:
+            for coord in self.route_cores(flow):
+                self._colours_per_core[coord].add(pattern)
+                touched.setdefault(coord, set()).add(pattern)
+        if self.enforce:
+            limit = self.device.max_paths_per_core
+            for coord, colours in self._colours_per_core.items():
+                if len(colours) > limit:
+                    raise RoutingResourceError(coord, len(colours), limit)
+        return touched
+
+    def check_message(self, nbytes: int) -> None:
+        """Validate a single-message (non-streamed) payload size."""
+        if nbytes > self.device.message_bytes:
+            raise MessageSizeError(nbytes, self.device.message_bytes)
+
+    def stream_cycles(self, hops: int, payload_bytes: int) -> float:
+        """Cycles to stream a payload across ``hops`` hops.
+
+        The head wavelet pays per-hop latency; the rest of the payload
+        pipelines behind it at the link width.
+        """
+        head = hops * self.device.hop_cycles
+        body = payload_bytes / self.device.link_bytes_per_cycle
+        return head + body
+
+    def paths_at(self, coord: Coord) -> int:
+        """Route colours currently programmed through a core."""
+        return len(self._colours_per_core.get(coord, ()))
+
+    @property
+    def max_paths_per_core(self) -> int:
+        """Colours at the busiest core so far."""
+        if not self._colours_per_core:
+            return 0
+        return max(len(c) for c in self._colours_per_core.values())

@@ -1,0 +1,231 @@
+"""The functional mesh machine: executes distributed kernels on numpy tiles.
+
+:class:`MeshMachine` is the substrate every kernel in this reproduction
+runs on.  It is *functional* (kernels produce bit-exact numerics, checked
+against dense references in the tests) and *accountable* (every transfer
+and every MAC is recorded in a :class:`~repro.mesh.trace.Trace`, and the
+M/R properties of the PLMR model can be enforced as hard errors).
+
+It is not cycle-accurate — cycle estimates come from the analytic cost
+model in :mod:`repro.mesh.cost_model`, which consumes the same phase
+structure the kernels execute here.  The test suite cross-checks the two:
+the trace of a functional run must exhibit the step counts, hop distances
+and route-colour counts the cost model charges for.
+
+Conventions
+-----------
+* Tiles are named numpy arrays held in per-core SRAM.
+* A matrix partitioned into ``gh x gw`` blocks places block ``(i, j)``
+  (block-row ``i``, block-column ``j``) on core ``(x=j, y=i)``.
+* Communication happens in *phases*: all sources are read before any
+  destination is written, so cyclic shifts and permutations are safe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.plmr import PLMRDevice
+from repro.errors import PlacementError, ShapeError, SimulationError
+from repro.mesh.core_sim import Core
+from repro.mesh.fabric import FabricModel, Flow
+from repro.mesh.topology import Coord, MeshTopology
+from repro.mesh.trace import Trace
+
+
+class MeshMachine:
+    """A ``width x height`` mesh of cores executing tile programs."""
+
+    def __init__(
+        self,
+        device: PLMRDevice,
+        enforce_memory: bool = True,
+        enforce_routing: bool = False,
+    ):
+        self.device = device
+        self.topology = MeshTopology(device.mesh_width, device.mesh_height)
+        self.fabric = FabricModel(device, self.topology, enforce=enforce_routing)
+        self.trace = Trace()
+        self._enforce_memory = enforce_memory
+        capacity = device.core_memory_bytes if enforce_memory else 2**62
+        self.cores: Dict[Coord, Core] = {
+            coord: Core(coord, capacity) for coord in self.topology.coords()
+        }
+        self._step = 0
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    @property
+    def step(self) -> int:
+        """Current step index (incremented by :meth:`advance_step`)."""
+        return self._step
+
+    def advance_step(self) -> int:
+        """Move to the next step; phases recorded after this get the new index."""
+        self._step += 1
+        return self._step
+
+    # ------------------------------------------------------------------
+    # Placement and data movement to/from the host
+    # ------------------------------------------------------------------
+    def core(self, coord: Coord) -> Core:
+        """The core at ``coord``."""
+        self.topology.validate(coord)
+        return self.cores[coord]
+
+    def place(self, name: str, coord: Coord, tile: np.ndarray) -> None:
+        """Host-side placement of one tile on one core (no NoC cost)."""
+        self.core(coord).store(name, np.asarray(tile))
+        self._note_memory(coord)
+
+    def scatter_grid(self, name: str, grid: Sequence[Sequence[np.ndarray]]) -> None:
+        """Place a 2D grid of tiles: ``grid[i][j]`` goes to core ``(j, i)``."""
+        gh = len(grid)
+        if gh == 0:
+            raise ShapeError("empty tile grid")
+        gw = len(grid[0])
+        if gh > self.topology.height or gw > self.topology.width:
+            raise PlacementError(
+                f"tile grid {gh}x{gw} does not fit mesh "
+                f"{self.topology.height}x{self.topology.width}"
+            )
+        for i, row in enumerate(grid):
+            if len(row) != gw:
+                raise ShapeError("ragged tile grid")
+            for j, tile in enumerate(row):
+                self.place(name, (j, i), tile)
+
+    def scatter_matrix(
+        self, name: str, matrix: np.ndarray, grid_h: int, grid_w: int
+    ) -> Tuple[int, int]:
+        """Partition a matrix into ``grid_h x grid_w`` blocks and scatter it.
+
+        Returns the (tile_rows, tile_cols) block shape.  Dimensions must
+        divide evenly — kernels that need padding do it explicitly so the
+        cost of padding stays visible.
+        """
+        rows, cols = matrix.shape
+        if rows % grid_h or cols % grid_w:
+            raise ShapeError(
+                f"matrix {rows}x{cols} not divisible into {grid_h}x{grid_w} blocks"
+            )
+        tr, tc = rows // grid_h, cols // grid_w
+        grid = [
+            [matrix[i * tr:(i + 1) * tr, j * tc:(j + 1) * tc] for j in range(grid_w)]
+            for i in range(grid_h)
+        ]
+        self.scatter_grid(name, grid)
+        return tr, tc
+
+    def gather_matrix(self, name: str, grid_h: int, grid_w: int) -> np.ndarray:
+        """Reassemble a scattered matrix from cores ``(j, i)``."""
+        rows = []
+        for i in range(grid_h):
+            row_tiles = [self.core((j, i)).load(name) for j in range(grid_w)]
+            rows.append(np.concatenate(row_tiles, axis=1))
+        return np.concatenate(rows, axis=0)
+
+    def free(self, name: str, coords: Optional[Iterable[Coord]] = None) -> None:
+        """Release a named tile on the given cores (default: everywhere)."""
+        targets = coords if coords is not None else self.topology.coords()
+        for coord in targets:
+            self.cores[coord].free(name)
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+    def communicate(self, pattern: str, flows: Sequence[Flow]) -> None:
+        """Execute one communication phase.
+
+        All source tiles are read first, then written to destinations, so
+        permutations (cyclic shifts) behave like simultaneous hardware
+        transfers.  The phase is accounted against the route colour
+        ``pattern`` and recorded in the trace.
+        """
+        if not flows:
+            return
+        payloads: List[np.ndarray] = []
+        for flow in flows:
+            tile = self.core(flow.src).load(flow.src_name)
+            # Copy: the wavelets leaving the source are immutable in flight.
+            payloads.append(np.array(tile, copy=True))
+        touched = self.fabric.register(pattern, flows)
+        flow_hops: List[int] = []
+        flow_bytes: List[int] = []
+        for flow, payload in zip(flows, payloads):
+            hops = self.fabric.flow_hops(flow)
+            flow_hops.append(hops)
+            flow_bytes.append(payload.nbytes * len(flow.dsts))
+            for dst in flow.dsts:
+                self.core(dst).store(flow.dst_name, payload)
+                self._note_memory(dst)
+        self.trace.record_comm(self._step, pattern, flow_hops, flow_bytes, touched)
+
+    def shift_named(
+        self,
+        pattern: str,
+        mapping: Dict[Coord, Coord],
+        src_name: str,
+        dst_name: str,
+    ) -> None:
+        """Permute a named tile across cores: ``mapping[src] -> dst``.
+
+        Validates that the mapping is injective (a true permutation step),
+        then executes it as one communication phase.
+        """
+        dsts = list(mapping.values())
+        if len(set(dsts)) != len(dsts):
+            raise SimulationError(f"shift mapping for {pattern!r} is not injective")
+        flows = [
+            Flow.unicast(src, dst, src_name, dst_name) for src, dst in mapping.items()
+        ]
+        self.communicate(pattern, flows)
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        label: str,
+        coords: Iterable[Coord],
+        fn: Callable[[Core], float],
+    ) -> None:
+        """Run ``fn`` on each listed core; ``fn`` returns the MACs it did.
+
+        The per-core MAC counts feed the trace (and through it the
+        compute/communication breakdowns of Figures 9 and 10).
+        """
+        macs: List[float] = []
+        for coord in coords:
+            core = self.cores[coord]
+            done = fn(core)
+            macs.append(float(done))
+            self._note_memory(coord)
+        self.trace.record_compute(self._step, label, macs)
+
+    def compute_all(self, label: str, fn: Callable[[Core], float]) -> None:
+        """Run ``fn`` on every core of the mesh."""
+        self.compute(label, self.topology.coords(), fn)
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    def _note_memory(self, coord: Coord) -> None:
+        self.trace.note_memory(self.cores[coord].resident_bytes)
+
+    def peak_memory_bytes(self) -> int:
+        """High-water mark of per-core resident memory across the run."""
+        return max(core.peak_bytes for core in self.cores.values())
+
+    def resident_bytes(self, coord: Coord) -> int:
+        """Bytes currently resident at one core."""
+        return self.cores[coord].resident_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MeshMachine({self.device.name}, "
+            f"{self.topology.width}x{self.topology.height}, step={self._step})"
+        )

@@ -1,0 +1,119 @@
+"""Mesh topology math: coordinates, hop distances, XY routes.
+
+A wafer-scale fabric is a 2D mesh of cores addressed by ``(x, y)`` with
+``0 <= x < width`` and ``0 <= y < height``.  Links connect 4-neighbours
+only; there are **no wraparound links** (the paper's Section 2.3: tori are
+impractical at wafer scale), which is precisely why Cannon-style wraparound
+shifts have an O(N) critical path and why MeshGEMM's INTERLEAVE matters.
+
+Routing is dimension-ordered (X first, then Y), matching the Cerebras
+fabric's row/column route programming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigurationError, PlacementError
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """Geometry of a ``width x height`` mesh without wraparound links."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ConfigurationError(
+                f"mesh dimensions must be positive, got {self.width}x{self.height}"
+            )
+
+    @property
+    def num_cores(self) -> int:
+        """Total number of cores in the mesh."""
+        return self.width * self.height
+
+    def coords(self) -> Iterator[Coord]:
+        """Iterate all coordinates in row-major order."""
+        for y in range(self.height):
+            for x in range(self.width):
+                yield (x, y)
+
+    def contains(self, coord: Coord) -> bool:
+        """True when ``coord`` lies inside the mesh."""
+        x, y = coord
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def validate(self, coord: Coord) -> None:
+        """Raise :class:`PlacementError` for out-of-mesh coordinates."""
+        if not self.contains(coord):
+            raise PlacementError(
+                f"coordinate {coord} outside {self.width}x{self.height} mesh"
+            )
+
+    def hop_distance(self, src: Coord, dst: Coord) -> int:
+        """Manhattan distance between two cores (XY-routed hop count)."""
+        self.validate(src)
+        self.validate(dst)
+        return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+    def xy_route(self, src: Coord, dst: Coord) -> List[Coord]:
+        """All cores on the dimension-ordered route from src to dst.
+
+        The route travels along X first, then along Y, and includes both
+        endpoints.  Its length minus one is the hop count.
+        """
+        self.validate(src)
+        self.validate(dst)
+        route = [src]
+        x, y = src
+        step_x = 1 if dst[0] > x else -1
+        while x != dst[0]:
+            x += step_x
+            route.append((x, y))
+        step_y = 1 if dst[1] > y else -1
+        while y != dst[1]:
+            y += step_y
+            route.append((x, y))
+        return route
+
+    def row(self, y: int) -> List[Coord]:
+        """Coordinates of row ``y``, west to east."""
+        if not 0 <= y < self.height:
+            raise PlacementError(f"row {y} outside mesh of height {self.height}")
+        return [(x, y) for x in range(self.width)]
+
+    def column(self, x: int) -> List[Coord]:
+        """Coordinates of column ``x``, north to south."""
+        if not 0 <= x < self.width:
+            raise PlacementError(f"column {x} outside mesh of width {self.width}")
+        return [(x, y) for y in range(self.height)]
+
+    def neighbours(self, coord: Coord) -> List[Coord]:
+        """The 2-4 mesh neighbours of a core."""
+        x, y = coord
+        self.validate(coord)
+        candidates = [(x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)]
+        return [c for c in candidates if self.contains(c)]
+
+    @property
+    def max_hops(self) -> int:
+        """Worst-case hop distance between any two cores."""
+        return (self.width - 1) + (self.height - 1)
+
+    @property
+    def max_axis_hops(self) -> int:
+        """Worst-case hop distance along a single axis (paper's L metric)."""
+        return max(self.width, self.height) - 1
+
+
+def line_positions(n: int) -> List[int]:
+    """Physical positions ``0..n-1`` of a 1D line of cores."""
+    if n < 1:
+        raise ConfigurationError(f"line length must be positive, got {n}")
+    return list(range(n))

@@ -1,0 +1,158 @@
+"""Execution traces of the functional mesh machine.
+
+The trace exists so that PLMR compliance is *measured*, not asserted:
+every communication the machine performs records its hop distances, the
+payload moved, and the routing pattern (route colour) it used.  From the
+trace we derive exactly the three metrics of the paper's Figures 6 and 8:
+
+* ``max_paths_per_core`` — distinct route colours each core participates
+  in (as source, destination, or pass-through on the XY route);
+* ``critical_path_hops`` — the longest single transfer, per step and
+  overall;
+* peak per-core resident memory is tracked by the cores themselves and
+  surfaced here for reporting.
+
+Tests assert that the measured numbers match the symbolic claims in
+``repro.core.compliance``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+Coord = Tuple[int, int]
+
+
+@dataclass
+class CommRecord:
+    """One communication phase executed by the machine."""
+
+    step: int
+    pattern: str
+    num_flows: int
+    max_hops: int
+    total_hops: int
+    max_payload_bytes: int
+    total_payload_bytes: int
+
+
+@dataclass
+class ComputeRecord:
+    """One compute phase executed by the machine."""
+
+    step: int
+    label: str
+    max_macs: float
+    total_macs: float
+    num_cores: int
+
+
+@dataclass
+class Trace:
+    """Accumulated events of one kernel execution on the mesh machine."""
+
+    comms: List[CommRecord] = field(default_factory=list)
+    computes: List[ComputeRecord] = field(default_factory=list)
+    _colours_per_core: Dict[Coord, Set[str]] = field(
+        default_factory=lambda: defaultdict(set)
+    )
+    peak_memory_bytes: int = 0
+
+    # -- recording -----------------------------------------------------
+    def record_comm(
+        self,
+        step: int,
+        pattern: str,
+        flow_hops: List[int],
+        flow_bytes: List[int],
+        touched: Dict[Coord, Set[str]],
+    ) -> None:
+        """Record one communication phase.
+
+        ``flow_hops`` / ``flow_bytes`` are per-flow; ``touched`` maps each
+        core on any flow's route to the set of route colours it carries.
+        """
+        self.comms.append(
+            CommRecord(
+                step=step,
+                pattern=pattern,
+                num_flows=len(flow_hops),
+                max_hops=max(flow_hops) if flow_hops else 0,
+                total_hops=sum(flow_hops),
+                max_payload_bytes=max(flow_bytes) if flow_bytes else 0,
+                total_payload_bytes=sum(flow_bytes),
+            )
+        )
+        for coord, colours in touched.items():
+            self._colours_per_core[coord].update(colours)
+
+    def record_compute(
+        self, step: int, label: str, macs_per_core: List[float]
+    ) -> None:
+        """Record one compute phase with per-core MAC counts."""
+        if not macs_per_core:
+            return
+        self.computes.append(
+            ComputeRecord(
+                step=step,
+                label=label,
+                max_macs=max(macs_per_core),
+                total_macs=sum(macs_per_core),
+                num_cores=len(macs_per_core),
+            )
+        )
+
+    def note_memory(self, resident_bytes: int) -> None:
+        """Track the high-water mark of any core's resident memory."""
+        if resident_bytes > self.peak_memory_bytes:
+            self.peak_memory_bytes = resident_bytes
+
+    # -- derived compliance metrics -------------------------------------
+    @property
+    def max_paths_per_core(self) -> int:
+        """Distinct route colours at the busiest core (the R metric)."""
+        if not self._colours_per_core:
+            return 0
+        return max(len(colours) for colours in self._colours_per_core.values())
+
+    @property
+    def critical_path_hops(self) -> int:
+        """Longest single transfer observed in any phase (the L metric)."""
+        if not self.comms:
+            return 0
+        return max(record.max_hops for record in self.comms)
+
+    @property
+    def total_steps(self) -> int:
+        """Number of distinct step indices seen."""
+        steps = {r.step for r in self.comms} | {r.step for r in self.computes}
+        return len(steps)
+
+    @property
+    def total_payload_bytes(self) -> int:
+        """Bytes moved across the NoC over the whole execution."""
+        return sum(record.total_payload_bytes for record in self.comms)
+
+    @property
+    def total_macs(self) -> float:
+        """MACs executed across all cores over the whole execution."""
+        return sum(record.total_macs for record in self.computes)
+
+    def patterns(self) -> Set[str]:
+        """All route colours used during execution."""
+        return {record.pattern for record in self.comms}
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for reports and assertions."""
+        return {
+            "steps": self.total_steps,
+            "comm_phases": len(self.comms),
+            "compute_phases": len(self.computes),
+            "critical_path_hops": self.critical_path_hops,
+            "max_paths_per_core": self.max_paths_per_core,
+            "total_payload_bytes": self.total_payload_bytes,
+            "total_macs": self.total_macs,
+            "peak_memory_bytes": self.peak_memory_bytes,
+        }

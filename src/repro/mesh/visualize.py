@@ -1,0 +1,113 @@
+"""ASCII visualization of mesh state: occupancy maps and flow overlays.
+
+Debugging distributed kernels means seeing *where things are*.  These
+helpers render a :class:`~repro.mesh.machine.MeshMachine` as text:
+
+* :func:`memory_heatmap` — per-core resident bytes as a density grid;
+* :func:`tile_map` — which cores hold a named tile;
+* :func:`route_overlay` — the XY route of a flow drawn over the grid;
+* :func:`occupancy_bars` — per-row byte totals (the KV-skew picture of
+  Figure 5 in one glance).
+
+Used by examples and handy in a REPL; tests pin the exact renderings so
+the output stays stable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mesh.machine import MeshMachine
+from repro.mesh.topology import Coord
+
+#: Density ramp from empty to full.
+_RAMP = " .:-=+*#%@"
+
+
+def _density_char(value: float, peak: float) -> str:
+    if peak <= 0 or value <= 0:
+        return _RAMP[0]
+    idx = min(len(_RAMP) - 1, 1 + int((len(_RAMP) - 2) * value / peak))
+    return _RAMP[idx]
+
+
+def memory_heatmap(machine: MeshMachine, max_width: int = 64) -> str:
+    """Render per-core resident bytes as a character-density grid.
+
+    Meshes wider than ``max_width`` are downsampled by averaging core
+    blocks, so wafer-sized machines still render on a terminal.
+    """
+    topo = machine.topology
+    stride = max(1, -(-topo.width // max_width))
+    rows: List[str] = []
+    peak = max(
+        (core.resident_bytes for core in machine.cores.values()), default=0
+    )
+    for y in range(0, topo.height, stride):
+        cells = []
+        for x in range(0, topo.width, stride):
+            block = [
+                machine.cores[(xx, yy)].resident_bytes
+                for yy in range(y, min(y + stride, topo.height))
+                for xx in range(x, min(x + stride, topo.width))
+            ]
+            cells.append(_density_char(sum(block) / len(block), peak))
+        rows.append("".join(cells))
+    header = f"memory heatmap {topo.width}x{topo.height} (peak {peak} B/core)"
+    return header + "\n" + "\n".join(rows)
+
+
+def tile_map(machine: MeshMachine, name: str) -> str:
+    """Mark cores holding tile ``name`` with ``#`` (``.`` otherwise)."""
+    topo = machine.topology
+    rows = []
+    for y in range(topo.height):
+        rows.append("".join(
+            "#" if machine.cores[(x, y)].has(name) else "."
+            for x in range(topo.width)
+        ))
+    return f"tiles named {name!r}\n" + "\n".join(rows)
+
+
+def route_overlay(machine: MeshMachine, src: Coord, dst: Coord) -> str:
+    """Draw the XY route from ``src`` (S) to ``dst`` (D) over the grid."""
+    topo = machine.topology
+    route = set(topo.xy_route(src, dst))
+    rows = []
+    for y in range(topo.height):
+        line = []
+        for x in range(topo.width):
+            if (x, y) == src:
+                line.append("S")
+            elif (x, y) == dst:
+                line.append("D")
+            elif (x, y) in route:
+                line.append("o")
+            else:
+                line.append(".")
+        rows.append("".join(line))
+    hops = topo.hop_distance(src, dst)
+    return f"route {src} -> {dst} ({hops} hops)\n" + "\n".join(rows)
+
+
+def occupancy_bars(
+    machine: MeshMachine, width: int = 40, label: Optional[str] = None
+) -> str:
+    """Per-row resident-byte totals as horizontal bars.
+
+    This is Figure 5 in ASCII: a concat-based KV cache shows one long
+    bottom bar; the shift-based cache shows a flat profile.
+    """
+    topo = machine.topology
+    totals = []
+    for y in range(topo.height):
+        totals.append(sum(
+            machine.cores[(x, y)].resident_bytes for x in range(topo.width)
+        ))
+    peak = max(totals) if totals else 0
+    rows = []
+    for y, total in enumerate(totals):
+        bar = "#" * (round(width * total / peak) if peak else 0)
+        rows.append(f"row {y:3d} |{bar:<{width}s}| {total} B")
+    title = label or "per-row memory occupancy"
+    return title + "\n" + "\n".join(rows)

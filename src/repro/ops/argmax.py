@@ -1,0 +1,124 @@
+"""Distributed argmax — token selection without leaving the mesh.
+
+Greedy decoding ends every step by finding the largest logit over the
+vocabulary, which after the LM-head GEMV lives *distributed across the
+root cores* of the mesh columns.  Gathering the full logit vector to a
+host would move ~256 KB per token; instead the argmax rides the same
+two-way K-tree as every other reduction, carrying a two-element
+``(value, index)`` payload whose combine step keeps the larger value
+(ties broken toward the smaller index, matching ``numpy.argmax``).
+
+This is an extension beyond the paper's text — the paper's launcher
+handles sampling host-side — but it follows directly from the PLMR
+playbook: O(1) payload, O(K * N^(1/K)) critical path, K+1 route colours.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.collectives.allreduce import ktree_group_sizes
+from repro.errors import ShapeError
+from repro.mesh.core_sim import Core
+from repro.mesh.fabric import Flow
+from repro.mesh.machine import MeshMachine
+from repro.mesh.topology import Coord
+
+
+def _combine(core: Core, name: str, inbox: str) -> float:
+    mine = core.load(name)
+    theirs = core.load(inbox)
+    # Keep the larger value; break ties toward the smaller index.
+    if (theirs[0] > mine[0]) or (theirs[0] == mine[0] and theirs[1] < mine[1]):
+        core.store(name, theirs)
+    core.free(inbox)
+    return 2.0
+
+
+def _two_way_argmax_reduce(
+    machine: MeshMachine,
+    groups: Sequence[Sequence[Coord]],
+    name: str,
+    pattern: str,
+) -> List[Coord]:
+    """Two-way group reduction with the (value, index) combine rule."""
+    roots: List[Coord] = []
+    state: List[List[int]] = []
+    max_stages = 0
+    for group in groups:
+        size = len(group)
+        root = size // 2
+        state.append([0, size - 1, root])
+        max_stages = max(max_stages, max(root, size - 1 - root))
+        roots.append(group[root])
+    inbox_l, inbox_r = f"{name}.amL", f"{name}.amR"
+    for _stage in range(max_stages):
+        flows: List[Flow] = []
+        receivers = {}
+        for group, st in zip(groups, state):
+            left, right, root = st
+            if left < root:
+                dst = group[left + 1]
+                flows.append(Flow.unicast(group[left], dst, name, inbox_l))
+                receivers.setdefault(dst, []).append(inbox_l)
+                st[0] = left + 1
+            if right > root:
+                dst = group[right - 1]
+                flows.append(Flow.unicast(group[right], dst, name, inbox_r))
+                receivers.setdefault(dst, []).append(inbox_r)
+                st[1] = right - 1
+        if not flows:
+            break
+        machine.communicate(pattern, flows)
+
+        def absorb(core: Core, inboxes=dict(receivers)) -> float:
+            macs = 0.0
+            for inbox in inboxes.get(core.coord, ()):
+                macs += _combine(core, name, inbox)
+            return macs
+
+        machine.compute(f"{pattern}-cmp", list(receivers), absorb)
+        machine.advance_step()
+    return roots
+
+
+def distributed_argmax(
+    machine: MeshMachine, values: np.ndarray, row: int = 0
+) -> Tuple[int, float]:
+    """Argmax of a vector distributed in chunks along one mesh row.
+
+    Returns ``(index, value)`` exactly as ``np.argmax`` would pick them.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ShapeError("expected a non-empty 1-D vector")
+    grid = machine.topology.width
+    chunks = np.array_split(values, grid)
+    offset = 0
+    line = machine.topology.row(row)
+    for x, chunk in enumerate(chunks):
+        if chunk.size:
+            local = int(np.argmax(chunk))
+            payload = np.array([chunk[local], float(offset + local)])
+        else:
+            payload = np.array([-np.inf, float(values.size)])
+        machine.place("argmax.v", (x, row), payload)
+        offset += chunk.size
+
+    # K-tree over the row, with the (value, index) combine.
+    sizes = ktree_group_sizes(grid, 2)
+    active = list(line)
+    level = 1
+    while len(active) > 1:
+        group_size = sizes[min(level, len(sizes)) - 1] if sizes else len(active)
+        groups = [active[i:i + group_size]
+                  for i in range(0, len(active), group_size)]
+        active = _two_way_argmax_reduce(
+            machine, groups, "argmax.v", f"argmax-L{level}"
+        )
+        level += 1
+    winner = machine.core(active[0]).load("argmax.v")
+    machine.free("argmax.v", line)
+    return int(winner[1]), float(winner[0])

@@ -1,0 +1,192 @@
+"""Distributed RMSNorm and softmax — the paper's "GEMV solutions".
+
+Section 2.3: operations needing an allreduce, such as RMSNorm and
+softmax, "can leverage GEMV solutions" — i.e. they reuse the same
+two-way K-tree aggregation MeshGEMV is built on.  These kernels make
+that concrete, executing *entirely on the mesh*:
+
+* :class:`DistributedRMSNorm` — the vector lives in chunks along a mesh
+  row; each core squares and sums its chunk locally, one scalar rides
+  the K-tree to the root, the root broadcasts the scale, and each core
+  normalizes its chunk in place.
+* :class:`DistributedSoftmax` — two K-tree scalar allreduces (max, then
+  sum of shifted exponentials) around purely local element work; ``-inf``
+  (causal-mask) entries contribute zero, exactly as a wafer kernel's
+  masked lanes would.
+
+Both provide the usual pair: ``run`` (functional, on a
+:class:`~repro.mesh.machine.MeshMachine`) and ``plan`` (analytic phases
+for the cost model), and both keep every core's footprint at
+``O(n / grid)`` plus two scalars — M-compliant by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.collectives.allreduce import broadcast_from_root, ktree_reduce
+from repro.collectives.plans import ktree_reduce_plan, root_broadcast_plan
+from repro.errors import ShapeError
+from repro.mesh.cost_model import ComputePhase, Phase
+from repro.mesh.core_sim import Core
+from repro.mesh.machine import MeshMachine
+
+
+def _scatter_line_chunks(
+    machine: MeshMachine, name: str, vector: np.ndarray, row: int
+) -> int:
+    """Spread a vector in contiguous chunks across one mesh row."""
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.ndim != 1 or vector.size == 0:
+        raise ShapeError("expected a non-empty 1-D vector")
+    grid = machine.topology.width
+    chunks = np.array_split(vector, grid)
+    for x, chunk in enumerate(chunks):
+        machine.place(name, (x, row), chunk)
+    return grid
+
+
+def _gather_line_chunks(
+    machine: MeshMachine, name: str, grid: int, row: int
+) -> np.ndarray:
+    return np.concatenate(
+        [machine.core((x, row)).load(name) for x in range(grid)]
+    )
+
+
+class DistributedRMSNorm:
+    """Mesh-resident RMSNorm over a row-distributed vector."""
+
+    name = "dist-rmsnorm"
+
+    @staticmethod
+    def run(
+        machine: MeshMachine,
+        x: np.ndarray,
+        weight: np.ndarray,
+        eps: float,
+        row: int = 0,
+    ) -> np.ndarray:
+        """Functional execution; returns the dense normalized vector."""
+        x = np.asarray(x, dtype=np.float64)
+        weight = np.asarray(weight, dtype=np.float64)
+        if x.shape != weight.shape:
+            raise ShapeError(f"weight shape {weight.shape} != x {x.shape}")
+        grid = _scatter_line_chunks(machine, "rms.x", x, row)
+        _scatter_line_chunks(machine, "rms.w", weight, row)
+        dim = float(x.size)
+
+        def local_square_sum(core: Core) -> float:
+            chunk = core.load("rms.x")
+            core.store("rms.sq", np.array([float(np.sum(chunk * chunk))]))
+            return float(chunk.size)
+
+        line = machine.topology.row(row)
+        machine.compute("rms-square", line, local_square_sum)
+        machine.advance_step()
+        roots = ktree_reduce(machine, [line], "rms.sq", k=2,
+                             pattern_prefix="rms-ktree")
+        broadcast_from_root(machine, [line], roots, "rms.sq",
+                            pattern="rms-bcast")
+
+        def local_normalize(core: Core) -> float:
+            total = float(core.load("rms.sq")[0])
+            rms = np.sqrt(total / dim + eps)
+            chunk = core.load("rms.x")
+            core.store("rms.x", chunk / rms * core.load("rms.w"))
+            return float(chunk.size) * 2.0
+
+        machine.compute("rms-normalize", line, local_normalize)
+        machine.advance_step()
+        result = _gather_line_chunks(machine, "rms.x", grid, row)
+        for name in ("rms.x", "rms.w", "rms.sq"):
+            machine.free(name, line)
+        return result
+
+    @staticmethod
+    def plan(grid: int, n: int) -> List[Phase]:
+        """Analytic phases: squares, K-tree scalar, broadcast, scale."""
+        chunk = max(1.0, n / grid)
+        phases: List[Phase] = [
+            ComputePhase(label="rms-square", macs_per_core=chunk)
+        ]
+        phases += ktree_reduce_plan(grid, payload_bytes=4.0,
+                                    payload_elems=1.0, k=2)
+        phases += root_broadcast_plan(grid, payload_bytes=4.0)
+        phases.append(ComputePhase(label="rms-normalize",
+                                   macs_per_core=2.0 * chunk))
+        return phases
+
+
+class DistributedSoftmax:
+    """Mesh-resident softmax over a row-distributed score vector."""
+
+    name = "dist-softmax"
+
+    @staticmethod
+    def run(machine: MeshMachine, scores: np.ndarray, row: int = 0) -> np.ndarray:
+        """Functional execution; returns the dense probability vector."""
+        scores = np.asarray(scores, dtype=np.float64)
+        if not np.isfinite(scores).any():
+            raise ShapeError("softmax over fully masked scores")
+        grid = _scatter_line_chunks(machine, "sm.x", scores, row)
+        line = machine.topology.row(row)
+
+        def local_max(core: Core) -> float:
+            chunk = core.load("sm.x")
+            finite = chunk[np.isfinite(chunk)]
+            peak = float(np.max(finite)) if finite.size else -np.inf
+            core.store("sm.max", np.array([peak]))
+            return float(chunk.size)
+
+        machine.compute("sm-max", line, local_max)
+        machine.advance_step()
+        roots = ktree_reduce(machine, [line], "sm.max", k=2,
+                             pattern_prefix="sm-ktree-max", op="max")
+        broadcast_from_root(machine, [line], roots, "sm.max",
+                            pattern="sm-bcast-max")
+
+        def local_exp_sum(core: Core) -> float:
+            peak = float(core.load("sm.max")[0])
+            chunk = core.load("sm.x")
+            exps = np.where(np.isfinite(chunk), np.exp(chunk - peak), 0.0)
+            core.store("sm.x", exps)
+            core.store("sm.sum", np.array([float(np.sum(exps))]))
+            return float(chunk.size) * 2.0
+
+        machine.compute("sm-exp", line, local_exp_sum)
+        machine.advance_step()
+        roots = ktree_reduce(machine, [line], "sm.sum", k=2,
+                             pattern_prefix="sm-ktree-sum")
+        broadcast_from_root(machine, [line], roots, "sm.sum",
+                            pattern="sm-bcast-sum")
+
+        def local_scale(core: Core) -> float:
+            total = float(core.load("sm.sum")[0])
+            chunk = core.load("sm.x")
+            core.store("sm.x", chunk / total)
+            return float(chunk.size)
+
+        machine.compute("sm-scale", line, local_scale)
+        machine.advance_step()
+        result = _gather_line_chunks(machine, "sm.x", grid, row)
+        for name in ("sm.x", "sm.max", "sm.sum"):
+            machine.free(name, line)
+        return result
+
+    @staticmethod
+    def plan(grid: int, n: int) -> List[Phase]:
+        """Analytic phases: two K-tree scalar allreduces + local work."""
+        chunk = max(1.0, n / grid)
+        phases: List[Phase] = [
+            ComputePhase(label="sm-max", macs_per_core=chunk)
+        ]
+        for _ in range(2):  # max pass, then sum pass
+            phases += ktree_reduce_plan(grid, payload_bytes=4.0,
+                                        payload_elems=1.0, k=2)
+            phases += root_broadcast_plan(grid, payload_bytes=4.0)
+        phases.append(ComputePhase(label="sm-exp-scale",
+                                   macs_per_core=3.0 * chunk))
+        return phases

@@ -1,0 +1,41 @@
+"""Runtime concerns: pipeline scheduling and weight placement transitions."""
+
+from repro.runtime.placement import (
+    WeightPlacementPlan,
+    transition_cost,
+    transposes_avoided_per_token,
+)
+from repro.runtime.memory_audit import (
+    MemoryAudit,
+    admissible_models,
+    audit_model,
+    required_layer_subset,
+)
+from repro.runtime.pipeline_sim import (
+    PipelineRun,
+    imbalance_penalty,
+    simulate_pipeline,
+    uniform_stage_utilization,
+)
+from repro.runtime.scheduler import (
+    USABLE_MEMORY_FRACTION,
+    PipelineSchedule,
+    decode_speedup_if_resident,
+)
+
+__all__ = [
+    "WeightPlacementPlan",
+    "transition_cost",
+    "transposes_avoided_per_token",
+    "PipelineSchedule",
+    "decode_speedup_if_resident",
+    "USABLE_MEMORY_FRACTION",
+    "MemoryAudit",
+    "audit_model",
+    "admissible_models",
+    "required_layer_subset",
+    "PipelineRun",
+    "simulate_pipeline",
+    "uniform_stage_utilization",
+    "imbalance_penalty",
+]

@@ -1,0 +1,134 @@
+"""Wafer memory audit: does a model fit for end-to-end inference?
+
+Section 7.1: *"CodeLLaMA-34B and QWen-72B are not included [in the
+end-to-end evaluation] due to the memory constraint of WSE-2"* — their
+prefill throughput is instead measured on a layer subset.  This module
+reproduces that admission decision from first principles: it lays a
+model's weights, KV budget and runtime reserve onto the fabric and
+reports, per core, whether everything fits.
+
+The audit is also the honest backing for the engine's configuration
+checks: rather than a hard-coded model list, `fits_end_to_end` derives
+the verdict from the same byte arithmetic the KV-capacity model and the
+pipeline scheduler use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.plmr import PLMRDevice
+from repro.errors import ConfigurationError
+from repro.llm.config import ModelConfig
+from repro.llm.kvcache import MIN_KV_BUDGET_BYTES, RUNTIME_RESERVE_BYTES
+
+#: Hard floor of the per-core runtime reserve (kernel code + stack).
+#: The default 20 KiB reserve shrinks toward this when weights are
+#: tight — LLaMA2-13B only fits the WSE-2 this way, which is exactly
+#: why its Table 5 concat capacity is a mere 16 tokens.
+MIN_RESERVE_BYTES = 8 * 1024
+
+
+@dataclass(frozen=True)
+class MemoryAudit:
+    """Per-core byte budget of one model on one device."""
+
+    model: str
+    device: str
+    core_memory_bytes: int
+    weights_per_core: float
+    reserve_per_core: int
+    kv_budget_per_core: float
+    min_generation_tokens: int
+
+    @property
+    def fits_weights(self) -> bool:
+        """Weights + reserve fit in every core's SRAM."""
+        return (self.weights_per_core + self.reserve_per_core
+                <= self.core_memory_bytes)
+
+    @property
+    def fits_end_to_end(self) -> bool:
+        """Weights fit *and* a usable KV budget remains for generation."""
+        return self.fits_weights and \
+            self.kv_budget_per_core >= MIN_KV_BUDGET_BYTES and \
+            self.min_generation_tokens >= 128
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of SRAM consumed by weights + reserve."""
+        return (self.weights_per_core + self.reserve_per_core) \
+            / self.core_memory_bytes
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        verdict = "fits end-to-end" if self.fits_end_to_end else (
+            "weights fit, KV budget too small" if self.fits_weights
+            else "DOES NOT FIT"
+        )
+        return (f"{self.model} on {self.device}: "
+                f"{self.weights_per_core / 1024:.1f} KiB weights/core + "
+                f"{self.reserve_per_core / 1024:.0f} KiB reserve of "
+                f"{self.core_memory_bytes / 1024:.0f} KiB -> {verdict}")
+
+
+def audit_model(
+    model: ModelConfig,
+    device: PLMRDevice,
+    decode_grid: int = 0,
+    reserve_bytes: int = RUNTIME_RESERVE_BYTES,
+) -> MemoryAudit:
+    """Audit one model's residency on one device.
+
+    Weights spread across the whole fabric (the pipeline-stage layout);
+    the KV budget is whatever one core has left, and the generation
+    ceiling follows the Table 5 arithmetic on the decode grid.
+    """
+    if device.num_cores < 1:
+        raise ConfigurationError("device has no cores")
+    if decode_grid <= 0:
+        decode_grid = min(device.mesh_width, device.mesh_height) // 2
+    weights_per_core = model.weight_bytes / device.num_cores
+    # The reserve is elastic: it yields to weight pressure down to the
+    # hard floor (code + stack cannot shrink further).
+    slack = device.core_memory_bytes - weights_per_core - MIN_KV_BUDGET_BYTES
+    reserve_used = int(min(reserve_bytes, max(MIN_RESERVE_BYTES, slack)))
+    kv_budget = device.core_memory_bytes - weights_per_core - reserve_used
+    features_per_core = -(-model.kv_dim // decode_grid)
+    bytes_per_token_core = 2 * features_per_core * model.dtype_bytes
+    tokens_per_row = max(0, int(kv_budget)) // bytes_per_token_core
+    return MemoryAudit(
+        model=model.name,
+        device=device.name,
+        core_memory_bytes=device.core_memory_bytes,
+        weights_per_core=weights_per_core,
+        reserve_per_core=reserve_used,
+        kv_budget_per_core=kv_budget,
+        min_generation_tokens=tokens_per_row * decode_grid,
+    )
+
+
+def admissible_models(
+    models: List[ModelConfig], device: PLMRDevice
+) -> List[str]:
+    """Names of the models that pass the end-to-end audit on ``device``."""
+    return [
+        model.name for model in models
+        if audit_model(model, device).fits_end_to_end
+    ]
+
+
+def required_layer_subset(model: ModelConfig, device: PLMRDevice) -> int:
+    """Largest layer count of this model that fits the device's memory.
+
+    This is how the paper evaluates CodeLLaMA-34B and QWen2-72B: "we
+    evaluate a subset of layers and scale the results proportionally due
+    to their uniform layer structure".
+    """
+    budget = device.num_cores * device.core_memory_bytes
+    usable = budget - device.num_cores * RUNTIME_RESERVE_BYTES
+    overhead = (model.embed_params + model.d_model) * model.dtype_bytes
+    per_layer = model.layer_params * model.dtype_bytes
+    layers = int((usable - overhead) // per_layer)
+    return max(1, min(model.num_layers, layers))

@@ -1,0 +1,15 @@
+"""Multi-request serving on the simulated wafer (an extension layer)."""
+
+from repro.serving.scheduler import (
+    ContinuousBatchingServer,
+    Request,
+    RequestStats,
+    ServingReport,
+)
+
+__all__ = [
+    "Request",
+    "RequestStats",
+    "ServingReport",
+    "ContinuousBatchingServer",
+]

@@ -1,0 +1,216 @@
+"""Multi-request serving on the wafer: continuous batching simulation.
+
+The paper evaluates single-stream inference and notes (Section 2.1) that
+adding accelerators helps *throughput* for concurrent queries but not
+per-query latency; its Section 8 roadmap expects concurrent streams to
+fill the pipeline bubbles.  This module builds that serving layer as an
+extension: an event-driven simulator that admits requests, runs prefill
+exclusively (it saturates the big grid), and decodes all live streams as
+one *continuously batched* step.
+
+Batched decode on the wafer is modelled from the calibrated single-token
+cost: weights are stationary, so a step's communication/launch skeleton
+is paid once while the arithmetic scales with the batch:
+
+``t(m) = t_fixed + m * t_compute``
+
+with ``t_fixed = total - compute`` and ``t_compute = compute`` taken
+from :meth:`WaferLLMSystem.decode_token_cost`.  The KV budget bounds the
+live batch: each stream owns a slice of every row's cache budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.plmr import PLMRDevice
+from repro.errors import ConfigurationError
+from repro.llm.config import ModelConfig
+from repro.llm.kvcache import capacity_geometry
+from repro.llm.wafer_system import WaferLLMSystem
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request."""
+
+    request_id: int
+    seq_in: int
+    seq_out: int
+    arrival_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seq_in < 1 or self.seq_out < 1:
+            raise ConfigurationError("seq_in and seq_out must be positive")
+        if self.arrival_s < 0:
+            raise ConfigurationError("arrival time must be non-negative")
+
+
+@dataclass
+class RequestStats:
+    """Measured timeline of one served request."""
+
+    request: Request
+    prefill_start_s: float = 0.0
+    decode_start_s: float = 0.0
+    finish_s: float = 0.0
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival to last token."""
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def queueing_s(self) -> float:
+        """Time spent waiting before prefill began."""
+        return self.prefill_start_s - self.request.arrival_s
+
+    @property
+    def decode_tokens_per_s(self) -> float:
+        """Per-request decode rate."""
+        span = self.finish_s - self.decode_start_s
+        return self.request.seq_out / span if span > 0 else 0.0
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of one serving simulation."""
+
+    completed: List[RequestStats]
+    makespan_s: float
+    total_tokens: int
+    peak_batch: int
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        """Generated tokens per wall-clock second over the whole run."""
+        return self.total_tokens / self.makespan_s if self.makespan_s else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Average request latency."""
+        return sum(s.latency_s for s in self.completed) / len(self.completed)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """99th-percentile request latency."""
+        ordered = sorted(s.latency_s for s in self.completed)
+        idx = min(len(ordered) - 1, math.ceil(0.99 * len(ordered)) - 1)
+        return ordered[max(idx, 0)]
+
+
+class ContinuousBatchingServer:
+    """Event-driven serving simulator with continuous batched decode."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        device: PLMRDevice,
+        prefill_grid: Optional[int] = None,
+        decode_grid: Optional[int] = None,
+        max_batch: Optional[int] = None,
+    ):
+        self.model = model
+        self.device = device
+        self.system = WaferLLMSystem(device)
+        self.prefill_grid = prefill_grid or self.system.prefill_grid(model)
+        self.decode_grid = decode_grid or self.system.decode_grid(model)
+        if max_batch is None:
+            max_batch = self.kv_bounded_batch()
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be at least 1")
+        self.max_batch = max_batch
+
+    # ------------------------------------------------------------------
+    def kv_bounded_batch(self, context_len: int = 4096) -> int:
+        """Streams whose KV fits the decode region's budget (M property)."""
+        geometry = capacity_geometry(
+            self.model, self.decode_grid,
+            self.device.core_memory_bytes, self.device.num_cores,
+        )
+        tokens_capacity = geometry.tokens_per_row * geometry.grid_height
+        return max(1, tokens_capacity // context_len)
+
+    def prefill_seconds(self, seq_in: int) -> float:
+        """Exclusive prefill time for one prompt."""
+        return self.system.prefill_cost(
+            self.model, seq_in, self.prefill_grid
+        ).seconds
+
+    def batched_step_seconds(self, batch: int, mean_context: int) -> float:
+        """One continuously-batched decode step for ``batch`` streams."""
+        cost = self.system.decode_token_cost(
+            self.model, mean_context, self.decode_grid
+        )
+        fixed = cost.total_cycles - cost.compute_cycles
+        per_stream = cost.compute_cycles
+        return self.device.cycles_to_seconds(fixed + batch * per_stream)
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: List[Request]) -> ServingReport:
+        """Simulate serving the request list to completion.
+
+        Prefill runs on its own (large) grid and therefore overlaps with
+        batched decode on the decode regions: prompts queue FIFO on the
+        prefill timeline; prefilled streams join the decode batch as
+        soon as it has room.
+        """
+        if not requests:
+            raise ConfigurationError("no requests to serve")
+        stats: Dict[int, RequestStats] = {
+            r.request_id: RequestStats(request=r) for r in requests
+        }
+        # Phase 1: the prefill region's FIFO timeline.
+        prefill_free = 0.0
+        ready: List[tuple] = []  # (ready_time, request), FIFO by prefill
+        for request in sorted(requests, key=lambda r: (r.arrival_s,
+                                                       r.request_id)):
+            stat = stats[request.request_id]
+            stat.prefill_start_s = max(request.arrival_s, prefill_free)
+            prefill_free = (
+                stat.prefill_start_s + self.prefill_seconds(request.seq_in)
+            )
+            ready.append((prefill_free, request))
+
+        # Phase 2: continuously batched decode.
+        now = 0.0
+        active: Dict[int, List[int]] = {}  # id -> [context, remaining]
+        total_tokens = 0
+        peak_batch = 0
+        while ready or active:
+            while ready and ready[0][0] <= now and len(active) < self.max_batch:
+                ready_time, request = ready.pop(0)
+                stats[request.request_id].decode_start_s = now
+                active[request.request_id] = [request.seq_in, request.seq_out]
+            if not active:
+                now = max(now, ready[0][0])
+                continue
+            batch = len(active)
+            peak_batch = max(peak_batch, batch)
+            mean_context = int(sum(ctx for ctx, _ in active.values()) / batch)
+            now += self.batched_step_seconds(batch, mean_context)
+            total_tokens += batch
+            finished = []
+            for request_id, state in active.items():
+                state[0] += 1
+                state[1] -= 1
+                if state[1] == 0:
+                    finished.append(request_id)
+            for request_id in finished:
+                stats[request_id].finish_s = now
+                del active[request_id]
+
+        completed = [stats[r.request_id] for r in requests]
+        return ServingReport(
+            completed=completed,
+            makespan_s=now,
+            total_tokens=total_tokens,
+            peak_batch=peak_batch,
+        )
+
+    def throughput_at_batch(self, batch: int, context_len: int = 2048) -> float:
+        """Steady-state decode throughput at a fixed batch size."""
+        step = self.batched_step_seconds(batch, context_len)
+        return batch / step

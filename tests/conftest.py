@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.device_presets import TINY_MESH, WSE2
+from repro.mesh.machine import MeshMachine
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for test data."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def mesh4() -> MeshMachine:
+    """A 4x4 functional mesh machine with memory enforcement."""
+    return MeshMachine(TINY_MESH.submesh(4, 4))
+
+
+@pytest.fixture
+def mesh5() -> MeshMachine:
+    """A 5x5 functional mesh machine (odd side exercises INTERLEAVE)."""
+    return MeshMachine(TINY_MESH.submesh(5, 5))
+
+
+@pytest.fixture
+def wse2_750():
+    """The 750x750 WSE-2 sub-mesh used for kernel estimates."""
+    return WSE2.submesh(750)

@@ -1,0 +1,231 @@
+"""Tests for pipeline / ring / two-way K-tree reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.allreduce import (
+    broadcast_from_root,
+    ktree_group_sizes,
+    ktree_reduce,
+    pipeline_reduce,
+    ring_allreduce,
+    two_way_group_reduce,
+)
+from repro.collectives.plans import ktree_stage_count
+from repro.core.device_presets import TINY_MESH
+from repro.errors import ConfigurationError, ShapeError
+from repro.mesh.machine import MeshMachine
+
+
+def _machine(side: int) -> MeshMachine:
+    return MeshMachine(TINY_MESH.submesh(side, side))
+
+
+def _scatter_rows(machine, matrix):
+    side = machine.topology.width
+    machine.scatter_matrix("v", matrix, side, side)
+    return [machine.topology.row(y) for y in range(side)]
+
+
+class TestPipelineReduce:
+    def test_sum_correct(self, rng):
+        machine = _machine(4)
+        matrix = rng.standard_normal((4, 4))
+        lines = _scatter_rows(machine, matrix)
+        roots = pipeline_reduce(machine, lines, "v")
+        for y, root in enumerate(roots):
+            assert machine.core(root).load("v") == pytest.approx(matrix[y].sum())
+
+    def test_root_is_tail(self):
+        machine = _machine(3)
+        lines = _scatter_rows(machine, np.zeros((3, 3)))
+        roots = pipeline_reduce(machine, lines, "v")
+        assert roots == [(2, 0), (2, 1), (2, 2)]
+
+    def test_stage_count_is_linear(self):
+        machine = _machine(6)
+        lines = _scatter_rows(machine, np.ones((6, 6)))
+        pipeline_reduce(machine, lines, "v", pattern="pipe")
+        stages = [r for r in machine.trace.comms if r.pattern == "pipe"]
+        assert len(stages) == 5  # N - 1 sequential add stages
+
+    def test_single_core_line(self):
+        machine = _machine(1)
+        machine.place("v", (0, 0), np.array([3.0]))
+        roots = pipeline_reduce(machine, [[(0, 0)]], "v")
+        assert machine.core(roots[0]).load("v")[0] == 3.0
+
+    def test_max_op(self):
+        machine = _machine(4)
+        matrix = np.arange(16.0).reshape(4, 4)
+        lines = _scatter_rows(machine, matrix)
+        roots = pipeline_reduce(machine, lines, "v", op="max")
+        for y, root in enumerate(roots):
+            assert machine.core(root).load("v") == matrix[y].max()
+
+    def test_unknown_op(self):
+        machine = _machine(2)
+        lines = _scatter_rows(machine, np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            pipeline_reduce(machine, lines, "v", op="median")
+
+    def test_mismatched_lines(self):
+        machine = _machine(3)
+        with pytest.raises(ShapeError):
+            pipeline_reduce(machine, [[(0, 0)], [(0, 1), (1, 1)]], "v")
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("side", [2, 3, 4, 5])
+    def test_allreduce_everywhere(self, side, rng):
+        machine = _machine(side)
+        # Vector tiles: each core holds a row-vector of length 6.
+        expected = {}
+        for y in range(side):
+            total = np.zeros(6)
+            for x in range(side):
+                tile = rng.standard_normal(6)
+                machine.place("v", (x, y), tile)
+                total += tile
+            expected[y] = total
+        lines = [machine.topology.row(y) for y in range(side)]
+        ring_allreduce(machine, lines, "v")
+        for y in range(side):
+            for x in range(side):
+                assert machine.core((x, y)).load("v") == pytest.approx(expected[y])
+
+    def test_single_core_noop(self):
+        machine = _machine(1)
+        machine.place("v", (0, 0), np.ones(3))
+        ring_allreduce(machine, [[(0, 0)]], "v")
+        assert np.array_equal(machine.core((0, 0)).load("v"), np.ones(3))
+
+    def test_round_count(self):
+        machine = _machine(4)
+        for x in range(4):
+            machine.place("v", (x, 0), np.ones(8))
+        ring_allreduce(machine, [machine.topology.row(0)], "v", pattern="ring")
+        rounds = [r for r in machine.trace.comms if r.pattern == "ring"]
+        assert len(rounds) == 2 * (4 - 1)
+
+    def test_wraparound_edge_in_trace(self):
+        machine = _machine(5)
+        for x in range(5):
+            machine.place("v", (x, 0), np.ones(10))
+        ring_allreduce(machine, [machine.topology.row(0)], "v", pattern="ring")
+        worst = max(r.max_hops for r in machine.trace.comms)
+        assert worst == 4  # the ring's closing edge spans the line
+
+
+class TestKTreeReduce:
+    @pytest.mark.parametrize("side,k", [(4, 2), (5, 2), (6, 2), (6, 3), (8, 2)])
+    def test_sum_correct(self, side, k, rng):
+        machine = _machine(side)
+        matrix = rng.standard_normal((side, side))
+        lines = _scatter_rows(machine, matrix)
+        roots = ktree_reduce(machine, lines, "v", k=k)
+        for y, root in enumerate(roots):
+            assert machine.core(root).load("v") == pytest.approx(matrix[y].sum())
+
+    def test_columns_direction(self, rng):
+        machine = _machine(4)
+        matrix = rng.standard_normal((4, 4))
+        machine.scatter_matrix("v", matrix, 4, 4)
+        columns = [machine.topology.column(x) for x in range(4)]
+        roots = ktree_reduce(machine, columns, "v")
+        for x, root in enumerate(roots):
+            assert machine.core(root).load("v") == pytest.approx(matrix[:, x].sum())
+
+    def test_stage_count_matches_plan(self):
+        for side in (4, 6, 8):
+            machine = _machine(side)
+            lines = _scatter_rows(machine, np.ones((side, side)))
+            ktree_reduce(machine, lines, "v", k=2, pattern_prefix="kt")
+            stages = [r for r in machine.trace.comms if r.pattern.startswith("kt")]
+            assert len(stages) == ktree_stage_count(side, 2)
+
+    def test_fewer_stages_than_pipeline(self):
+        side = 8
+        tree_machine = _machine(side)
+        ktree_reduce(tree_machine, _scatter_rows(tree_machine, np.ones((side, side))),
+                     "v", pattern_prefix="kt")
+        pipe_machine = _machine(side)
+        pipeline_reduce(pipe_machine,
+                        _scatter_rows(pipe_machine, np.ones((side, side))),
+                        "v", pattern="pipe")
+        tree_stages = sum(r.pattern.startswith("kt") for r in tree_machine.trace.comms)
+        pipe_stages = sum(r.pattern == "pipe" for r in pipe_machine.trace.comms)
+        assert tree_stages < pipe_stages
+
+    def test_route_colours_bounded_by_k_plus_one(self):
+        # R property: non-roots use their level's colour; roots at most K+1.
+        machine = _machine(8)
+        lines = _scatter_rows(machine, np.ones((8, 8)))
+        ktree_reduce(machine, lines, "v", k=2)
+        assert machine.trace.max_paths_per_core <= 3
+
+    def test_single_core(self):
+        machine = _machine(1)
+        machine.place("v", (0, 0), np.array([5.0]))
+        roots = ktree_reduce(machine, [[(0, 0)]], "v")
+        assert roots == [(0, 0)]
+
+    def test_max_op(self, rng):
+        machine = _machine(6)
+        matrix = rng.standard_normal((6, 6))
+        lines = _scatter_rows(machine, matrix)
+        roots = ktree_reduce(machine, lines, "v", op="max")
+        for y, root in enumerate(roots):
+            assert machine.core(root).load("v") == pytest.approx(matrix[y].max())
+
+    @settings(max_examples=25, deadline=None)
+    @given(side=st.integers(2, 8), k=st.integers(1, 3), seed=st.integers(0, 99))
+    def test_property_sum_any_shape(self, side, k, seed):
+        rng = np.random.default_rng(seed)
+        machine = _machine(side)
+        matrix = rng.integers(-5, 5, size=(side, side)).astype(float)
+        lines = _scatter_rows(machine, matrix)
+        roots = ktree_reduce(machine, lines, "v", k=k)
+        for y, root in enumerate(roots):
+            assert machine.core(root).load("v") == matrix[y].sum()
+
+
+class TestGroupSizesAndBroadcast:
+    def test_group_sizes_terminate(self):
+        for n in range(1, 300):
+            sizes = ktree_group_sizes(n, 2)
+            remaining = n
+            for g in sizes:
+                remaining = -(-remaining // g)
+            assert remaining == 1
+
+    def test_group_sizes_k1_is_whole_line(self):
+        assert ktree_group_sizes(10, 1) == [10]
+
+    def test_group_sizes_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            ktree_group_sizes(10, 0)
+
+    def test_two_way_group_reduce_roots_middle(self):
+        machine = _machine(5)
+        for x in range(5):
+            machine.place("v", (x, 0), np.array([float(x)]))
+        roots = two_way_group_reduce(machine, [machine.topology.row(0)], "v", "g")
+        assert roots == [(2, 0)]
+        assert machine.core((2, 0)).load("v")[0] == 10.0
+
+    def test_broadcast_from_root(self):
+        machine = _machine(4)
+        lines = _scatter_rows(machine, np.ones((4, 4)))
+        roots = ktree_reduce(machine, lines, "v")
+        broadcast_from_root(machine, lines, roots, "v")
+        for y in range(4):
+            for x in range(4):
+                assert machine.core((x, y)).load("v") == 4.0
+
+    def test_broadcast_root_count_mismatch(self):
+        machine = _machine(2)
+        lines = _scatter_rows(machine, np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            broadcast_from_root(machine, lines, [(0, 0)], "v")

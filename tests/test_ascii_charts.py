@@ -1,0 +1,76 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.bench.ascii_charts import grouped_bars, hbar_chart, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestHBar:
+    def test_largest_value_fills_width(self):
+        chart = hbar_chart("t", {"a": 10.0, "b": 5.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[1].count("█") == 20
+        assert lines[2].count("█") == 10
+
+    def test_labels_aligned(self):
+        chart = hbar_chart("t", {"short": 1.0, "longer-name": 2.0})
+        lines = chart.splitlines()[1:]
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_unit_rendered(self):
+        chart = hbar_chart("t", {"a": 3.0}, unit="ms")
+        assert "3 ms" in chart
+
+    def test_log_scale_compresses(self):
+        linear = hbar_chart("t", {"a": 1000.0, "b": 1.0}, width=30)
+        logd = hbar_chart("t", {"a": 1000.0, "b": 1.0}, width=30,
+                          log_scale=True)
+        assert linear.splitlines()[2].count("█") == 0
+        assert "(log scale)" in logd
+
+    def test_zero_values_ok(self):
+        chart = hbar_chart("t", {"a": 0.0, "b": 1.0})
+        assert "|" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hbar_chart("t", {})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hbar_chart("t", {"a": -1.0})
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        chart = grouped_bars(
+            "fig", ["2K", "8K"],
+            {"meshgemm": [1.0, 4.0], "cannon": [3.0, 4.1]},
+        )
+        assert chart.count("2K:") == 1
+        assert chart.count("meshgemm") == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grouped_bars("f", ["a"], {"s": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grouped_bars("f", [], {})
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_extremes(self):
+        line = sparkline([0.0, 10.0])
+        assert line[0] == "▁" and line[1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])

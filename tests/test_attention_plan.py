@@ -1,0 +1,69 @@
+"""Tests for attention-variant planning utilities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.llm.attention import (
+    head_groups,
+    kv_cache_ratio,
+    subgrid_for_heads,
+    variant_summary,
+)
+from repro.llm.config import LLAMA2_13B, LLAMA3_8B, TINY_MQA
+
+
+class TestHeadGroups:
+    def test_gqa_grouping(self):
+        groups = head_groups(LLAMA3_8B)
+        assert len(groups) == 8
+        assert groups[0].query_heads == (0, 1, 2, 3)
+        assert groups[7].query_heads == (28, 29, 30, 31)
+
+    def test_mha_one_to_one(self):
+        groups = head_groups(LLAMA2_13B)
+        assert len(groups) == 40
+        assert all(len(g.query_heads) == 1 for g in groups)
+
+    def test_mqa_single_group(self):
+        groups = head_groups(TINY_MQA)
+        assert len(groups) == 1
+        assert groups[0].query_heads == (0, 1, 2, 3)
+
+    def test_groups_partition_heads(self):
+        for model in (LLAMA3_8B, LLAMA2_13B, TINY_MQA):
+            heads = [h for g in head_groups(model) for h in g.query_heads]
+            assert sorted(heads) == list(range(model.n_heads))
+
+
+class TestKVRatio:
+    def test_gqa_quarter(self):
+        assert kv_cache_ratio(LLAMA3_8B) == pytest.approx(0.25)
+
+    def test_mha_full(self):
+        assert kv_cache_ratio(LLAMA2_13B) == 1.0
+
+    def test_mqa_minimal(self):
+        assert kv_cache_ratio(TINY_MQA) == pytest.approx(0.25)
+
+
+class TestSubgrid:
+    def test_heads_fit(self):
+        side, fit = subgrid_for_heads(660, LLAMA3_8B)
+        assert side == 110
+        assert fit >= LLAMA3_8B.n_heads
+
+    def test_small_grid_floor(self):
+        side, fit = subgrid_for_heads(4, LLAMA3_8B)
+        assert side >= 1 and fit >= 1
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigurationError):
+            subgrid_for_heads(0, LLAMA3_8B)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = variant_summary(LLAMA3_8B)
+        assert summary["variant"] == "grouped-query"
+        assert summary["group_size"] == 4
+        assert summary["kv_bytes_per_token"] == LLAMA3_8B.kv_bytes_per_token()

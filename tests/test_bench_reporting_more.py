@@ -1,0 +1,66 @@
+"""Additional tests: report formatting edges and experiment runner options."""
+
+import pytest
+
+from repro.bench.experiments import run_figure9, run_figure10, run_table6
+from repro.bench.reporting import Comparison, _fmt, comparison_table
+from repro.core import WSE2, WSE3
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("value,expected", [
+        (0, "0"),
+        (1234.5, "1,234"),
+        (56.78, "56.8"),
+        (0.1234, "0.123"),
+        (0.004567, "0.00457"),
+    ])
+    def test_fmt_ranges(self, value, expected):
+        assert _fmt(value) == expected
+
+    def test_comparison_zero_paper(self):
+        assert Comparison("x", 1.0, 0.0).ratio is None
+
+    def test_comparison_row_with_unit(self):
+        row = Comparison("case", 2.0, 4.0, unit="ms").row()
+        assert row[0] == "case"
+        assert row[-1] == "ms"
+        assert "0.50x" in row[3]
+
+    def test_table_contains_every_case(self):
+        comparisons = [Comparison(f"c{i}", float(i + 1)) for i in range(5)]
+        text = comparison_table("T", comparisons)
+        for i in range(5):
+            assert f"c{i}" in text
+
+
+class TestRunnerOptions:
+    def test_figure9_custom_sweep(self):
+        cells = run_figure9(sizes=(4096,), grids=(240,))
+        assert len(cells) == 3
+        assert all("gemm4K@240" in c.label for c in cells)
+
+    def test_figure10_grid_capped_by_dim(self):
+        cells = run_figure10(sizes=(128,), grids=(720,))
+        # grid must be clamped to the matrix dimension.
+        assert all("@128" in c.label for c in cells)
+
+    def test_device_override(self):
+        wse2 = {c.label: c.measured for c in run_table6(WSE2)}
+        wse3 = {c.label: c.measured for c in run_table6(WSE3)}
+        # WSE-3's faster cores shrink the wafer GEMV latency.
+        assert wse3["gemv16K wse_ms"] < wse2["gemv16K wse_ms"]
+        # The GPU column is device-independent.
+        assert wse3["gemv16K a100_ms"] == wse2["gemv16K a100_ms"]
+
+
+class TestSystemGuards:
+    def test_grid_outside_fabric_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.llm.config import LLAMA3_8B
+        from repro.llm.wafer_system import WaferLLMSystem
+        system = WaferLLMSystem(WSE2)
+        with pytest.raises(ConfigurationError):
+            system.prefill_throughput(LLAMA3_8B, 4096, 2000)
+        with pytest.raises(ConfigurationError):
+            system.decode_throughput(LLAMA3_8B, 2048, 0)

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopLevel:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "cerebras-wse2" in out
+        assert "dojo-like" in out
+
+    def test_compliance_default_device(self, capsys):
+        assert main(["compliance"]) == 0
+        out = capsys.readouterr().out
+        assert "meshgemm" in out and "VIOLATED" in out
+
+    def test_compliance_unknown_device(self, capsys):
+        assert main(["compliance", "--device", "nope"]) == 2
+
+
+class TestTablesAndFigures:
+    @pytest.mark.parametrize("number", [5, 6, 7, 8])
+    def test_tables(self, number, capsys):
+        assert main(["table", str(number)]) == 0
+        out = capsys.readouterr().out
+        assert "measured/paper" in out
+
+    def test_unknown_table(self, capsys):
+        assert main(["table", "42"]) == 2
+
+    def test_figure10(self, capsys):
+        assert main(["figure", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "meshgemv" in out and "pipeline-gemv" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "1"]) == 2
+
+
+class TestKernelCommands:
+    def test_gemm(self, capsys):
+        assert main(["gemm", "--dim", "4096", "--grid", "480"]) == 0
+        assert "meshgemm" in capsys.readouterr().out
+
+    def test_gemm_unknown_kernel(self, capsys):
+        assert main(["gemm", "--kernel", "magic"]) == 2
+
+    def test_gemv_all_kernels(self, capsys):
+        for kernel in ("meshgemv", "pipeline-gemv", "ring-gemv"):
+            assert main(["gemv", "--dim", "4096", "--kernel", kernel,
+                         "--grid", "240"]) == 0
+
+    def test_gemv_unknown_kernel(self, capsys):
+        assert main(["gemv", "--kernel", "magic"]) == 2
+
+
+class TestLLMCommands:
+    def test_llm_estimate(self, capsys):
+        assert main(["llm", "--model", "llama3-8b",
+                     "--seq-in", "2048", "--seq-out", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "prefill" in out and "tok/s" in out
+
+    def test_llm_unknown_model(self, capsys):
+        assert main(["llm", "--model", "gpt-7"]) == 2
+
+    def test_autotune(self, capsys):
+        assert main(["autotune", "--model", "llama3-8b"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out and "autotuned" in out
+
+    def test_serve(self, capsys):
+        assert main(["serve", "--model", "llama3-8b", "--requests", "3",
+                     "--batch", "2", "--seq-in", "128",
+                     "--seq-out", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "p99" in out
+
+
+class TestAuditAndProject:
+    def test_audit(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        assert "llama3-8b" in out and "qwen2-72b" in out
+        assert "no (" in out  # the big models don't fit
+
+    def test_audit_int8(self, capsys):
+        assert main(["audit", "--int8"]) == 0
+        out = capsys.readouterr().out
+        assert "codellama-34b-int8" in out
+
+    def test_project(self, capsys):
+        assert main(["project", "--model", "llama2-13b"]) == 0
+        out = capsys.readouterr().out
+        assert "resident projection" in out and "wider" in out

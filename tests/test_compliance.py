@@ -1,0 +1,104 @@
+"""Tests for the PLMR compliance metrics (paper Figures 6 and 8)."""
+
+import pytest
+
+from repro.core import WSE2, compliance_table, grade
+from repro.core.compliance import (
+    ALL_PROFILES,
+    ALLGATHER_GEMM,
+    CANNON,
+    KTREE_GEMV,
+    MESHGEMM,
+    PIPELINE_GEMV,
+    RING_GEMV,
+    SUMMA,
+)
+
+
+class TestProfiles:
+    def test_registry_complete(self):
+        assert set(ALL_PROFILES) == {
+            "allgather-gemm", "summa", "cannon", "meshgemm",
+            "pipeline-allreduce-gemv", "ring-allreduce-gemv",
+            "ktree-allreduce-gemv",
+        }
+
+    def test_allgather_metrics_scale_linearly(self):
+        m = ALLGATHER_GEMM.evaluate(100)
+        assert m["paths_per_core"] == 100
+        assert m["critical_path_hops"] == 99
+        assert m["memory_factor"] == 100
+
+    def test_summa_memory_doubles(self):
+        assert SUMMA.evaluate(64)["memory_factor"] == 2.0
+
+    def test_cannon_constant_paths_linear_hops(self):
+        m = CANNON.evaluate(720)
+        assert m["paths_per_core"] == 2.0
+        assert m["critical_path_hops"] == 719
+
+    def test_meshgemm_two_hop_bound(self):
+        for n in (3, 10, 100, 720):
+            assert MESHGEMM.evaluate(n)["critical_path_hops"] == 2.0
+
+    def test_meshgemm_optimal_memory(self):
+        assert MESHGEMM.evaluate(720)["memory_factor"] == 1.0
+
+    def test_pipeline_and_ring_linear(self):
+        assert PIPELINE_GEMV.evaluate(500)["critical_path_hops"] == 499
+        assert RING_GEMV.evaluate(500)["critical_path_hops"] == 499
+
+    def test_ktree_sublinear(self):
+        # O(K * N^(1/K)) with K=2: ~2 * sqrt(N)/2 adds.
+        hops_100 = KTREE_GEMV.evaluate(100)["critical_path_hops"]
+        hops_10000 = KTREE_GEMV.evaluate(10000)["critical_path_hops"]
+        assert hops_100 <= 12
+        assert hops_10000 <= 110
+        assert hops_10000 < 100 * hops_100  # far sublinear growth
+
+    def test_ktree_root_paths_k_plus_one(self):
+        assert KTREE_GEMV.evaluate(720)["paths_per_core"] == 3.0
+
+
+class TestGrading:
+    """The paper's verdicts: only MeshGEMM and K-tree GEMV fully comply."""
+
+    def test_figure6_verdicts(self):
+        reports = {r.algorithm: r for r in compliance_table(WSE2)}
+        assert not reports["allgather-gemm"].satisfies_l
+        assert not reports["allgather-gemm"].satisfies_m
+        assert not reports["allgather-gemm"].satisfies_r
+        assert not reports["summa"].satisfies_l
+        assert reports["summa"].satisfies_m
+        assert not reports["summa"].satisfies_r
+        assert not reports["cannon"].satisfies_l
+        assert reports["cannon"].satisfies_m
+        assert reports["cannon"].satisfies_r
+        assert reports["meshgemm"].fully_compliant
+
+    def test_figure8_verdicts(self):
+        reports = {r.algorithm: r for r in compliance_table(WSE2)}
+        assert not reports["pipeline-allreduce-gemv"].satisfies_l
+        assert reports["pipeline-allreduce-gemv"].satisfies_r
+        assert not reports["ring-allreduce-gemv"].satisfies_l
+        assert reports["ktree-allreduce-gemv"].fully_compliant
+
+    def test_grade_custom_n(self):
+        report = grade(MESHGEMM, WSE2, n=100)
+        assert report.n == 100
+        assert report.fully_compliant
+
+    def test_verdict_string_mentions_violations(self):
+        report = grade(CANNON, WSE2)
+        assert "L:VIOLATED" in report.verdict_string()
+        assert "R:ok" in report.verdict_string()
+
+    def test_small_mesh_forgives_linear_algorithms(self):
+        # On a tiny mesh even O(N) critical paths fit the slack bound —
+        # the violations are a *scale* phenomenon, as the paper argues.
+        report = grade(CANNON, WSE2, n=4)
+        assert report.satisfies_l
+
+    def test_compliance_table_covers_all_profiles(self):
+        reports = compliance_table(WSE2)
+        assert len(reports) == len(ALL_PROFILES)

@@ -1,0 +1,93 @@
+"""Tests for the per-core memory model (the M property made executable)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryCapacityError, SimulationError
+from repro.mesh.core_sim import Core
+
+
+@pytest.fixture
+def core() -> Core:
+    return Core((1, 2), capacity_bytes=1024)
+
+
+class TestStorage:
+    def test_store_and_load(self, core):
+        tile = np.arange(10, dtype=np.float32)
+        core.store("a", tile)
+        assert np.array_equal(core.load("a"), tile)
+
+    def test_load_missing_raises(self, core):
+        with pytest.raises(SimulationError, match="no tile named"):
+            core.load("ghost")
+
+    def test_load_optional_missing(self, core):
+        assert core.load_optional("ghost") is None
+
+    def test_replace_updates_accounting(self, core):
+        core.store("a", np.zeros(100, dtype=np.float32))
+        core.store("a", np.zeros(10, dtype=np.float32))
+        assert core.resident_bytes == 40
+
+    def test_free(self, core):
+        core.store("a", np.zeros(10, dtype=np.float32))
+        core.free("a")
+        assert core.resident_bytes == 0
+        assert not core.has("a")
+
+    def test_free_missing_is_noop(self, core):
+        core.free("ghost")
+
+    def test_rename(self, core):
+        core.store("a", np.ones(4))
+        core.rename("a", "b")
+        assert core.has("b") and not core.has("a")
+        assert core.resident_bytes == 32
+
+    def test_tile_names_sorted(self, core):
+        core.store("z", np.zeros(1))
+        core.store("a", np.zeros(1))
+        assert list(core.tile_names()) == ["a", "z"]
+
+
+class TestCapacity:
+    def test_capacity_enforced(self, core):
+        with pytest.raises(MemoryCapacityError) as err:
+            core.store("big", np.zeros(2048, dtype=np.float32))
+        assert err.value.coord == (1, 2)
+        assert err.value.capacity == 1024
+
+    def test_cumulative_capacity(self, core):
+        core.store("a", np.zeros(128, dtype=np.float32))  # 512 B
+        core.store("b", np.zeros(100, dtype=np.float32))  # 400 B
+        with pytest.raises(MemoryCapacityError):
+            core.store("c", np.zeros(100, dtype=np.float32))
+
+    def test_exact_fit_allowed(self, core):
+        core.store("a", np.zeros(256, dtype=np.float32))  # exactly 1024
+        assert core.free_bytes == 0
+
+    def test_replacement_within_capacity(self, core):
+        core.store("a", np.zeros(200, dtype=np.float32))
+        # Shrinking an existing tile must always succeed.
+        core.store("a", np.zeros(256, dtype=np.float32))
+        assert core.resident_bytes == 1024
+
+    def test_failed_store_leaves_state_intact(self, core):
+        core.store("a", np.zeros(10, dtype=np.float32))
+        before = core.resident_bytes
+        with pytest.raises(MemoryCapacityError):
+            core.store("b", np.zeros(10_000, dtype=np.float32))
+        assert core.resident_bytes == before
+        assert not core.has("b")
+
+    def test_peak_tracking(self, core):
+        core.store("a", np.zeros(128, dtype=np.float32))
+        core.free("a")
+        core.store("b", np.zeros(16, dtype=np.float32))
+        assert core.peak_bytes == 512
+
+    def test_free_bytes(self, core):
+        core.store("a", np.zeros(64, dtype=np.float32))
+        assert core.free_bytes == 1024 - 256

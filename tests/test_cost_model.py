@@ -1,0 +1,148 @@
+"""Tests for the analytic cycle model."""
+
+import pytest
+
+from repro.core import PLMRDevice
+from repro.errors import ConfigurationError
+from repro.mesh.cost_model import (
+    CommPhase,
+    ComputePhase,
+    KernelCost,
+    LoopPhase,
+    ReducePhase,
+    STAGE_LAUNCH_CYCLES,
+    estimate,
+)
+
+
+@pytest.fixture
+def device() -> PLMRDevice:
+    return PLMRDevice(
+        mesh_width=10, mesh_height=10, clock_hz=1e9,
+        macs_per_cycle=2.0, hop_cycles=1.0, link_bytes_per_cycle=4.0,
+    )
+
+
+class TestComputePhase:
+    def test_cycles(self, device):
+        phase = ComputePhase("c", macs_per_core=200, overhead_cycles=10)
+        assert phase.cycles(device) == pytest.approx(10 + 100)
+
+    def test_repeats(self, device):
+        phase = ComputePhase("c", macs_per_core=200, repeats=3,
+                             overhead_cycles=10)
+        assert phase.cycles(device) == pytest.approx(3 * 110)
+
+
+class TestCommPhase:
+    def test_head_plus_body(self, device):
+        phase = CommPhase("m", hop_distance=7, payload_bytes=40,
+                          overhead_cycles=0)
+        assert phase.cycles(device) == pytest.approx(7 + 10)
+
+    def test_repeats(self, device):
+        phase = CommPhase("m", hop_distance=1, payload_bytes=4,
+                          repeats=5, overhead_cycles=2)
+        assert phase.cycles(device) == pytest.approx(5 * (2 + 1 + 1))
+
+
+class TestReducePhase:
+    def test_pipelined_wavefront(self, device):
+        phase = ReducePhase("r", stages=10, stage_hop_distance=1,
+                            payload_bytes=40, stage_add_elems=20,
+                            overhead_cycles=0)
+        expected = 10 * (1 + STAGE_LAUNCH_CYCLES) + 10 + 10
+        assert phase.cycles(device) == pytest.approx(expected)
+
+    def test_non_pipelined_rounds(self, device):
+        phase = ReducePhase("r", stages=10, stage_hop_distance=1,
+                            payload_bytes=40, stage_add_elems=20,
+                            pipelined=False, overhead_cycles=0)
+        expected = 10 * (1 + STAGE_LAUNCH_CYCLES + 10 + 10)
+        assert phase.cycles(device) == pytest.approx(expected)
+
+    def test_pipelined_beats_rounds(self, device):
+        kwargs = dict(stages=50, stage_hop_distance=2, payload_bytes=400,
+                      stage_add_elems=100)
+        fast = ReducePhase("r", **kwargs)
+        slow = ReducePhase("r", pipelined=False, **kwargs)
+        assert fast.cycles(device) < slow.cycles(device)
+
+
+class TestLoopPhase:
+    def _loop(self, compute_macs, comm_bytes, overlap=True):
+        return LoopPhase(
+            "l", steps=10,
+            compute=ComputePhase("c", compute_macs, overhead_cycles=0),
+            comm=CommPhase("m", hop_distance=0, payload_bytes=comm_bytes,
+                           overhead_cycles=0),
+            overlap=overlap,
+        )
+
+    def test_overlap_takes_max(self, device):
+        loop = self._loop(compute_macs=200, comm_bytes=40)  # 100 vs 10
+        assert loop.cycles(device) == pytest.approx(10 * 100 + 10)
+
+    def test_no_overlap_sums(self, device):
+        loop = self._loop(compute_macs=200, comm_bytes=40, overlap=False)
+        assert loop.cycles(device) == pytest.approx(10 * 110)
+
+    def test_comm_bound_loop(self, device):
+        loop = self._loop(compute_macs=2, comm_bytes=4000)  # 1 vs 1000
+        assert loop.cycles(device) == pytest.approx(10 * 1000 + 1)
+
+    def test_breakdowns(self, device):
+        loop = self._loop(compute_macs=200, comm_bytes=40)
+        assert loop.compute_cycles(device) == pytest.approx(1000)
+        assert loop.comm_cycles(device) == pytest.approx(100)
+
+    def test_zero_steps(self, device):
+        loop = LoopPhase("l", steps=0,
+                         compute=ComputePhase("c", 10),
+                         comm=CommPhase("m", 1, 1))
+        assert loop.cycles(device) == 0.0
+
+
+class TestEstimateAndKernelCost:
+    def test_estimate_sums_phases(self, device):
+        cost = estimate("k", device, [
+            ComputePhase("c", 200, overhead_cycles=0),
+            CommPhase("m", 10, 40, overhead_cycles=0),
+        ])
+        assert cost.compute_cycles == pytest.approx(100)
+        assert cost.comm_cycles == pytest.approx(20)
+        assert cost.total_cycles == pytest.approx(120)
+
+    def test_exposed_comm(self, device):
+        loop = LoopPhase(
+            "l", steps=10,
+            compute=ComputePhase("c", 200, overhead_cycles=0),
+            comm=CommPhase("m", 0, 4000, overhead_cycles=0),
+        )
+        cost = estimate("k", device, [loop])
+        assert cost.exposed_comm_cycles == pytest.approx(
+            cost.total_cycles - cost.compute_cycles
+        )
+
+    def test_seconds_and_ms(self, device):
+        cost = KernelCost("k", device, 0, 0, 1e6)
+        assert cost.seconds == pytest.approx(1e-3)
+        assert cost.milliseconds == pytest.approx(1.0)
+
+    def test_energy(self, device):
+        cost = KernelCost("k", device, 0, 0, 1e9)  # 1 s
+        assert cost.energy_joules == pytest.approx(device.device_power_w)
+
+    def test_scaled(self, device):
+        cost = KernelCost("k", device, 10, 20, 30).scaled(3)
+        assert (cost.compute_cycles, cost.comm_cycles, cost.total_cycles) == \
+            (30, 60, 90)
+
+    def test_add(self, device):
+        total = KernelCost("a", device, 1, 2, 3) + KernelCost("b", device, 4, 5, 9)
+        assert total.total_cycles == 12
+
+    def test_add_across_devices_rejected(self, device):
+        other = PLMRDevice(mesh_width=2, mesh_height=2)
+        with pytest.raises(ConfigurationError):
+            KernelCost("a", device, 1, 1, 1) + KernelCost("b", other, 1, 1, 1)

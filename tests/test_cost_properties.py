@@ -1,0 +1,113 @@
+"""Property-based tests: cost-model monotonicity and conservation laws.
+
+The analytic model must behave like physics: more work never costs less,
+bigger payloads never transfer faster, energy scales with time, and the
+kernel estimators inherit these properties end to end.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import WSE2, PLMRDevice
+from repro.gemm import CannonGEMM, MeshGEMM, SummaGEMM
+from repro.gemm.base import GemmShape
+from repro.gemv import MeshGEMV, PipelineGEMV
+from repro.mesh.cost_model import CommPhase, ComputePhase, ReducePhase
+
+
+DEVICE = WSE2
+
+
+class TestPhaseMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(macs=st.floats(1, 1e9), extra=st.floats(1, 1e9))
+    def test_compute_monotone_in_macs(self, macs, extra):
+        small = ComputePhase("c", macs_per_core=macs)
+        large = ComputePhase("c", macs_per_core=macs + extra)
+        assert large.cycles(DEVICE) > small.cycles(DEVICE)
+
+    @settings(max_examples=30, deadline=None)
+    @given(payload=st.floats(1, 1e9), hops=st.floats(0, 2000),
+           extra=st.floats(1, 1e6))
+    def test_comm_monotone_in_payload_and_hops(self, payload, hops, extra):
+        base = CommPhase("m", hop_distance=hops, payload_bytes=payload)
+        more_bytes = CommPhase("m", hop_distance=hops,
+                               payload_bytes=payload + extra)
+        more_hops = CommPhase("m", hop_distance=hops + extra,
+                              payload_bytes=payload)
+        assert more_bytes.cycles(DEVICE) > base.cycles(DEVICE)
+        assert more_hops.cycles(DEVICE) > base.cycles(DEVICE)
+
+    @settings(max_examples=30, deadline=None)
+    @given(stages=st.integers(1, 1000), extra=st.integers(1, 100))
+    def test_reduce_monotone_in_stages(self, stages, extra):
+        base = ReducePhase("r", stages=stages, stage_hop_distance=1,
+                           payload_bytes=64, stage_add_elems=16)
+        more = ReducePhase("r", stages=stages + extra, stage_hop_distance=1,
+                           payload_bytes=64, stage_add_elems=16)
+        assert more.cycles(DEVICE) > base.cycles(DEVICE)
+
+    @settings(max_examples=20, deadline=None)
+    @given(stages=st.integers(1, 500))
+    def test_pipelined_never_slower_than_rounds(self, stages):
+        kwargs = dict(stages=stages, stage_hop_distance=2.0,
+                      payload_bytes=128.0, stage_add_elems=32.0)
+        assert ReducePhase("r", **kwargs).cycles(DEVICE) <= \
+            ReducePhase("r", pipelined=False, **kwargs).cycles(DEVICE)
+
+
+class TestKernelMonotonicity:
+    @settings(max_examples=15, deadline=None)
+    @given(dim=st.sampled_from([1024, 2048, 4096, 8192]),
+           grid=st.sampled_from([120, 240, 480, 720]))
+    def test_gemm_cost_monotone_in_problem_size(self, dim, grid):
+        small = MeshGEMM.estimate(DEVICE, GemmShape.square(dim), grid)
+        large = MeshGEMM.estimate(DEVICE, GemmShape.square(2 * dim), grid)
+        assert large.total_cycles > small.total_cycles
+
+    @settings(max_examples=15, deadline=None)
+    @given(dim=st.sampled_from([2048, 4096, 8192, 16384]),
+           grid=st.sampled_from([120, 240, 480, 720]))
+    def test_gemv_cost_monotone_in_problem_size(self, dim, grid):
+        small = MeshGEMV.estimate(DEVICE, rows=dim, cols=dim, grid=grid)
+        large = MeshGEMV.estimate(DEVICE, rows=2 * dim, cols=2 * dim,
+                                  grid=grid)
+        assert large.total_cycles > small.total_cycles
+
+    @settings(max_examples=10, deadline=None)
+    @given(grid=st.sampled_from([120, 240, 480, 720]))
+    def test_compute_work_conserved_across_kernels(self, grid):
+        # All GEMM variants perform identical arithmetic per core.
+        shape = GemmShape.square(4096)
+        costs = [k.estimate(DEVICE, shape, grid).compute_cycles
+                 for k in (MeshGEMM, CannonGEMM)]
+        assert costs[0] == pytest.approx(costs[1], rel=0.02)
+
+    @settings(max_examples=10, deadline=None)
+    @given(grid=st.sampled_from([60, 120, 240, 480]))
+    def test_pipeline_reduce_dominates_ktree_in_comm(self, grid):
+        mesh = MeshGEMV.estimate(DEVICE, rows=8192, cols=8192, grid=grid)
+        pipe = PipelineGEMV.estimate(DEVICE, rows=8192, cols=8192, grid=grid)
+        assert pipe.comm_cycles >= mesh.comm_cycles
+
+    def test_energy_proportional_to_time(self):
+        a = MeshGEMM.estimate(DEVICE, GemmShape.square(4096), 480)
+        b = MeshGEMM.estimate(DEVICE, GemmShape.square(8192), 480)
+        assert b.energy_joules / a.energy_joules == \
+            pytest.approx(b.seconds / a.seconds)
+
+    def test_faster_clock_scales_everything(self):
+        slow = PLMRDevice(mesh_width=100, mesh_height=100, clock_hz=1e9)
+        fast = PLMRDevice(mesh_width=100, mesh_height=100, clock_hz=2e9)
+        shape = GemmShape.square(2048)
+        t_slow = MeshGEMM.estimate(slow, shape, 100).seconds
+        t_fast = MeshGEMM.estimate(fast, shape, 100).seconds
+        assert t_fast == pytest.approx(t_slow / 2)
+
+    def test_dtype_bytes_affect_comm_not_compute(self):
+        fp16 = MeshGEMV.estimate(DEVICE, rows=16384, cols=16384, grid=720,
+                                 dtype_bytes=2)
+        int8 = MeshGEMV.estimate(DEVICE, rows=16384, cols=16384, grid=720,
+                                 dtype_bytes=1)
+        assert int8.comm_cycles < fp16.comm_cycles
+        assert int8.compute_cycles == pytest.approx(fp16.compute_cycles)

@@ -1,0 +1,126 @@
+"""Tests for the distributed transformer: mesh execution vs dense reference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.llm.checkpoint import synthesize_weights
+from repro.llm.config import TINY_GQA, TINY_MHA, TINY_MQA
+from repro.llm.distributed import WaferTransformer
+from repro.llm.mesh_ops import MeshOpContext
+from repro.llm.reference import ReferenceTransformer
+
+TOLERANCE = 1e-9
+
+
+@pytest.fixture(scope="module")
+def weights_by_variant():
+    return {
+        cfg.name: synthesize_weights(cfg, seed=42)
+        for cfg in (TINY_MHA, TINY_GQA, TINY_MQA)
+    }
+
+
+class TestPrefillMatchesReference:
+    @pytest.mark.parametrize("name", ["tiny-mha", "tiny-gqa", "tiny-mqa"])
+    def test_prefill_logits(self, name, weights_by_variant):
+        weights = weights_by_variant[name]
+        prompt = np.array([2, 7, 1, 5])
+        ref = ReferenceTransformer(weights).forward(prompt)
+        dist = WaferTransformer(weights).prefill(prompt)
+        assert np.max(np.abs(ref - dist)) < TOLERANCE
+
+    def test_prompt_length_not_multiple_of_grid(self, weights_by_variant):
+        weights = weights_by_variant["tiny-gqa"]
+        prompt = np.array([1, 2, 3, 4, 5, 6, 7])  # 7 rows on a 4-grid
+        ref = ReferenceTransformer(weights).forward(prompt)
+        dist = WaferTransformer(weights).prefill(prompt)
+        assert np.max(np.abs(ref - dist)) < TOLERANCE
+
+    def test_empty_prompt_rejected(self, weights_by_variant):
+        transformer = WaferTransformer(weights_by_variant["tiny-mha"])
+        with pytest.raises(ShapeError):
+            transformer.prefill(np.array([], dtype=np.int64))
+
+    def test_prefill_after_decode_rejected(self, weights_by_variant):
+        transformer = WaferTransformer(weights_by_variant["tiny-mha"])
+        transformer.prefill(np.array([1]))
+        transformer.decode_step(2)
+        with pytest.raises(ConfigurationError):
+            transformer.prefill(np.array([1, 2]))
+
+
+class TestDecodeMatchesReference:
+    @pytest.mark.parametrize("name", ["tiny-mha", "tiny-gqa", "tiny-mqa"])
+    def test_decode_steps(self, name, weights_by_variant):
+        weights = weights_by_variant[name]
+        prompt = np.array([3, 1, 4])
+        ref = ReferenceTransformer(weights)
+        dist = WaferTransformer(weights)
+        ref.forward(prompt)
+        dist.prefill(prompt)
+        for token in (6, 2, 9):
+            ref_logits = ref.forward(np.array([token]))[-1]
+            dist_logits = dist.decode_step(token)
+            assert np.max(np.abs(ref_logits - dist_logits)) < TOLERANCE
+
+    def test_generate_matches_reference(self, weights_by_variant):
+        weights = weights_by_variant["tiny-gqa"]
+        prompt = np.array([5, 2])
+        ref_tokens = ReferenceTransformer(weights).generate(prompt, 6)
+        dist_tokens = WaferTransformer(weights).generate(prompt, 6)
+        assert np.array_equal(ref_tokens, dist_tokens)
+
+    def test_concat_cache_variant_matches_too(self, weights_by_variant):
+        # Both managers are numerically equivalent below capacity.
+        weights = weights_by_variant["tiny-mha"]
+        prompt = np.array([1, 2, 3])
+        shift = WaferTransformer(weights, cache_kind="shift")
+        concat = WaferTransformer(weights, cache_kind="concat")
+        a = shift.prefill(prompt)
+        b = concat.prefill(prompt)
+        assert np.max(np.abs(a - b)) < TOLERANCE
+
+    def test_unknown_cache_kind(self, weights_by_variant):
+        with pytest.raises(ConfigurationError):
+            WaferTransformer(weights_by_variant["tiny-mha"], cache_kind="paged")
+
+    def test_reset_restores_clean_state(self, weights_by_variant):
+        weights = weights_by_variant["tiny-gqa"]
+        transformer = WaferTransformer(weights)
+        first = transformer.prefill(np.array([1, 2]))
+        transformer.reset()
+        second = transformer.prefill(np.array([1, 2]))
+        assert np.array_equal(first, second)
+
+
+class TestMeshExecutionProperties:
+    def test_kernels_actually_launched(self, weights_by_variant):
+        transformer = WaferTransformer(weights_by_variant["tiny-mha"])
+        transformer.prefill(np.array([1, 2, 3, 4]))
+        labels = {label for label, _trace in transformer.ops.traces}
+        assert {"meshgemm", "meshgemm-t", "ktree-add", "ktree-max"} <= labels
+
+    def test_decode_uses_gemv_kernels(self, weights_by_variant):
+        transformer = WaferTransformer(weights_by_variant["tiny-mha"])
+        transformer.prefill(np.array([1]))
+        before = transformer.ops.total_kernels()
+        transformer.decode_step(2)
+        new = [label for label, _t in transformer.ops.traces[before:]]
+        assert "meshgemv" in new
+        assert "meshgemm" not in new  # decode never falls back to GEMM
+
+    def test_route_colours_bounded_across_whole_run(self, weights_by_variant):
+        transformer = WaferTransformer(weights_by_variant["tiny-gqa"])
+        transformer.prefill(np.array([1, 2, 3]))
+        transformer.decode_step(4)
+        # Every kernel stays within the tiny device's routing budget.
+        assert transformer.ops.max_paths_per_core() <= 8
+
+    def test_shift_cache_rows_balanced_during_decode(self, weights_by_variant):
+        transformer = WaferTransformer(weights_by_variant["tiny-mha"], kv_rows=3)
+        transformer.prefill(np.array([1, 2, 3, 4, 5]))
+        for token in (1, 2, 3, 4):
+            transformer.decode_step(token)
+        occupancy = transformer.kv_cache(0).row_occupancy()
+        assert max(occupancy) - min(occupancy) <= 1

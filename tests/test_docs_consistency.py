@@ -1,0 +1,66 @@
+"""Guards against stale documentation: EXPERIMENTS.md must match the code.
+
+EXPERIMENTS.md is generated from the live models; if someone edits a
+calibration constant without regenerating it, these tests fail.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.bench.experiments import run_table6, run_table8
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+
+def _read(name: str) -> str:
+    path = os.path.join(ROOT, name)
+    assert os.path.exists(path), f"{name} missing"
+    with open(path) as handle:
+        return handle.read()
+
+
+class TestDocsExist:
+    @pytest.mark.parametrize("name", [
+        "README.md", "DESIGN.md", "EXPERIMENTS.md",
+        os.path.join("docs", "architecture.md"),
+        os.path.join("docs", "calibration.md"),
+    ])
+    def test_present_and_nontrivial(self, name):
+        text = _read(name)
+        assert len(text) > 1000, f"{name} suspiciously short"
+
+    def test_design_confirms_paper_identity(self):
+        text = _read("DESIGN.md")
+        assert "WaferLLM" in text
+        assert "matches the WaferLLM paper" in text
+
+    def test_experiments_covers_every_table_and_figure(self):
+        text = _read("EXPERIMENTS.md")
+        for table in range(2, 9):
+            assert f"Table {table}" in text, table
+        assert "Figure 9" in text and "Figure 10" in text
+
+
+class TestExperimentsFreshness:
+    def _committed_value(self, label: str) -> float:
+        text = _read("EXPERIMENTS.md")
+        pattern = re.compile(
+            rf"^\| {re.escape(label)} \| ([\d.,]+) \|", re.MULTILINE
+        )
+        match = pattern.search(text)
+        assert match, f"EXPERIMENTS.md has no row for {label!r}"
+        return float(match.group(1).replace(",", ""))
+
+    def test_table6_rows_match_live_model(self):
+        live = {c.label: c.measured for c in run_table6()}
+        for label in ("gemv16K wse_ms", "gemv32K energy_ratio"):
+            committed = self._committed_value(label)
+            assert committed == pytest.approx(live[label], rel=0.02), label
+
+    def test_table8_rows_match_live_model(self):
+        live = {c.label: c.measured for c in run_table8()}
+        committed = self._committed_value("llama3-8b wse_tokens_s")
+        assert committed == pytest.approx(
+            live["llama3-8b wse_tokens_s"], rel=0.02)

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs clean and prints its headline."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "PLMR compliance",
+    "llama_inference.py": "Table 2-style summary",
+    "kernel_scaling.py": "peak MeshGEMV speedup",
+    "kvcache_capacity.py": "equals the row count",
+    "serving_simulation.py": "p99 latency",
+    "memory_and_quantization.py": "DOES NOT FIT",
+}
+
+
+@pytest.mark.parametrize("script,marker", sorted(EXPECTED_MARKERS.items()))
+def test_example_runs(script, marker):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout, (
+        f"{script} output missing {marker!r}; got:\n{result.stdout[-800:]}"
+    )
+
+
+def test_all_examples_covered():
+    scripts = {name for name in os.listdir(EXAMPLES_DIR)
+               if name.endswith(".py")}
+    assert scripts == set(EXPECTED_MARKERS), (
+        "new example scripts must be added to EXPECTED_MARKERS"
+    )

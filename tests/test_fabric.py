@@ -1,0 +1,90 @@
+"""Tests for the fabric (NoC) model: flows, route colours, R enforcement."""
+
+import pytest
+
+from repro.core.device_presets import TINY_MESH
+from repro.errors import MessageSizeError, RoutingResourceError
+from repro.mesh.fabric import FabricModel, Flow
+from repro.mesh.topology import MeshTopology
+
+
+@pytest.fixture
+def fabric() -> FabricModel:
+    device = TINY_MESH.submesh(6, 6)
+    return FabricModel(device, MeshTopology(6, 6))
+
+
+class TestFlows:
+    def test_unicast_factory(self):
+        flow = Flow.unicast((0, 0), (1, 0), "a", "b")
+        assert flow.dsts == ((1, 0),)
+
+    def test_multicast_factory(self):
+        flow = Flow.multicast((0, 0), [(1, 0), (2, 0)], "a", "a")
+        assert len(flow.dsts) == 2
+
+    def test_flow_hops_unicast(self, fabric):
+        assert fabric.flow_hops(Flow.unicast((0, 0), (3, 2), "a", "a")) == 5
+
+    def test_flow_hops_multicast_is_farthest(self, fabric):
+        flow = Flow.multicast((0, 0), [(1, 0), (5, 5)], "a", "a")
+        assert fabric.flow_hops(flow) == 10
+
+    def test_flow_hops_empty_dsts(self, fabric):
+        assert fabric.flow_hops(Flow((0, 0), (), "a", "a")) == 0
+
+    def test_route_cores_include_endpoints_and_path(self, fabric):
+        flow = Flow.unicast((0, 0), (2, 0), "a", "a")
+        assert fabric.route_cores(flow) == {(0, 0), (1, 0), (2, 0)}
+
+
+class TestColours:
+    def test_register_counts_patterns_once(self, fabric):
+        flow = Flow.unicast((0, 0), (1, 0), "a", "a")
+        fabric.register("p1", [flow])
+        fabric.register("p1", [flow])
+        assert fabric.paths_at((0, 0)) == 1
+
+    def test_distinct_patterns_accumulate(self, fabric):
+        flow = Flow.unicast((0, 0), (1, 0), "a", "a")
+        for i in range(4):
+            fabric.register(f"p{i}", [flow])
+        assert fabric.paths_at((0, 0)) == 4
+        assert fabric.max_paths_per_core == 4
+
+    def test_pass_through_cores_counted(self, fabric):
+        fabric.register("p", [Flow.unicast((0, 0), (4, 0), "a", "a")])
+        assert fabric.paths_at((2, 0)) == 1
+
+    def test_untouched_core_has_zero_paths(self, fabric):
+        fabric.register("p", [Flow.unicast((0, 0), (1, 0), "a", "a")])
+        assert fabric.paths_at((5, 5)) == 0
+
+    def test_enforcement_raises_past_budget(self):
+        device = TINY_MESH.submesh(6, 6)  # max_paths_per_core == 6
+        fabric = FabricModel(device, MeshTopology(6, 6), enforce=True)
+        flow = Flow.unicast((0, 0), (1, 0), "a", "a")
+        for i in range(device.max_paths_per_core):
+            fabric.register(f"p{i}", [flow])
+        with pytest.raises(RoutingResourceError) as err:
+            fabric.register("one-too-many", [flow])
+        assert err.value.limit == device.max_paths_per_core
+
+    def test_no_enforcement_by_default(self, fabric):
+        flow = Flow.unicast((0, 0), (1, 0), "a", "a")
+        for i in range(20):
+            fabric.register(f"p{i}", [flow])
+        assert fabric.max_paths_per_core == 20
+
+
+class TestMessaging:
+    def test_message_size_ok(self, fabric):
+        fabric.check_message(4)
+
+    def test_message_size_violation(self, fabric):
+        with pytest.raises(MessageSizeError):
+            fabric.check_message(64)
+
+    def test_stream_cycles(self, fabric):
+        # 5 hops of head latency + 100 B at 4 B/cycle.
+        assert fabric.stream_cycles(5, 100) == pytest.approx(5 + 25)

@@ -1,0 +1,95 @@
+"""Failure-injection tests: PLMR violations surfacing through real flows.
+
+The M and R properties are enforced by the substrate, so violations must
+surface as typed errors in realistic end-to-end situations — a decode
+loop outgrowing a concat cache, an inference pass on starved cores, a
+routing-enforced fabric refusing a SUMMA plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.device_presets import TINY_MESH
+from repro.errors import (
+    CapacityExceeded,
+    MemoryCapacityError,
+    RoutingResourceError,
+)
+from repro.gemm import MeshGEMM, SummaGEMM
+from repro.llm.checkpoint import synthesize_weights
+from repro.llm.config import TINY_MHA
+from repro.llm.distributed import WaferTransformer
+from repro.mesh.machine import MeshMachine
+
+
+class TestKVOverflowDuringInference:
+    def test_concat_cache_dies_mid_generation(self):
+        """A concat-managed decode hits CapacityExceeded while the
+        shift-managed twin keeps generating — Table 5 as a failure."""
+        weights = synthesize_weights(TINY_MHA, seed=31)
+        # Budget for ~6 tokens per row on a 3-row cache.
+        budget = 6 * 2 * (TINY_MHA.kv_dim // 4) * 8
+        concat = WaferTransformer(weights, cache_kind="concat",
+                                  kv_rows=3, kv_budget_bytes=budget)
+        shift = WaferTransformer(weights, cache_kind="shift",
+                                 kv_rows=3, kv_budget_bytes=budget)
+        prompt = np.array([1, 2, 3])
+        concat.prefill(prompt)
+        shift.prefill(prompt)
+        concat_tokens = 0
+        with pytest.raises(CapacityExceeded):
+            for step in range(16):
+                concat.decode_step(step % 8)
+                concat_tokens += 1
+        for step in range(14):  # 3 prompt + 14 decode <= 18-token capacity
+            shift.decode_step(step % 8)  # must NOT raise
+        assert concat_tokens < 14
+        # The shift cache accepted 3x the concat capacity, as designed.
+        assert shift.kv_cache(0).num_tokens > \
+            concat.kv_cache(0).num_tokens
+
+    def test_shift_cache_also_finite(self):
+        weights = synthesize_weights(TINY_MHA, seed=32)
+        budget = 2 * 2 * (TINY_MHA.kv_dim // 4) * 8  # 2 tokens/row
+        shift = WaferTransformer(weights, cache_kind="shift",
+                                 kv_rows=2, kv_budget_bytes=budget)
+        shift.prefill(np.array([1]))
+        with pytest.raises(CapacityExceeded):
+            for step in range(10):
+                shift.decode_step(step % 8)
+
+
+class TestStarvedCores:
+    def test_gemm_on_starved_mesh_raises_memory_error(self):
+        machine = MeshMachine(TINY_MESH.submesh(2, 2))
+        for core in machine.cores.values():
+            core.capacity_bytes = 256  # a few dozen fp64 elements
+        big = np.ones((16, 16))
+        with pytest.raises(MemoryCapacityError):
+            MeshGEMM.run(machine, big, big)
+
+    def test_same_problem_fits_with_normal_cores(self):
+        machine = MeshMachine(TINY_MESH.submesh(2, 2))
+        big = np.ones((16, 16))
+        result = MeshGEMM.run(machine, big, big)
+        assert np.allclose(result, big @ big)
+
+
+class TestRoutingEnforcement:
+    def test_summa_rejected_on_routing_enforced_fabric(self):
+        """SUMMA needs O(N) route colours; a fabric that enforces the R
+        budget refuses it mid-flight while MeshGEMM sails through."""
+        grid = 8  # needs 2*8 colours > the tiny device's 6
+        a = np.ones((grid, grid))
+        enforced = MeshMachine(TINY_MESH.submesh(grid, grid),
+                               enforce_routing=True)
+        with pytest.raises(RoutingResourceError):
+            SummaGEMM.run(enforced, a, a)
+
+    def test_meshgemm_fits_routing_budget(self):
+        grid = 8
+        a = np.ones((grid, grid))
+        enforced = MeshMachine(TINY_MESH.submesh(grid, grid),
+                               enforce_routing=True)
+        result = MeshGEMM.run(enforced, a, a)  # 4 colours <= budget of 6
+        assert np.allclose(result, a @ a)

@@ -1,0 +1,170 @@
+"""Tests for distributed GEMV kernels: correctness, traces, cost shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.device_presets import TINY_MESH, WSE2
+from repro.errors import ShapeError
+from repro.gemv import (
+    GemvShape,
+    MeshGEMV,
+    PipelineGEMV,
+    RingGEMV,
+    meshgemv_with_k,
+)
+from repro.mesh.machine import MeshMachine
+
+KERNELS = [MeshGEMV, PipelineGEMV, RingGEMV]
+
+
+def _machine(side):
+    return MeshMachine(TINY_MESH.submesh(side, side))
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("grid", [2, 3, 4, 6])
+    def test_matches_numpy(self, kernel, grid, rng):
+        a = rng.standard_normal(grid * 3)
+        b = rng.standard_normal((grid * 3, grid * 2))
+        machine = _machine(grid)
+        assert np.allclose(kernel.run(machine, a, b), a @ b)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_row_vector_input(self, kernel, rng):
+        grid = 4
+        a = rng.standard_normal((1, grid * 2))
+        b = rng.standard_normal((grid * 2, grid))
+        machine = _machine(grid)
+        assert np.allclose(kernel.run(machine, a, b), (a @ b)[0])
+
+    def test_broadcast_replicates_result(self, rng):
+        grid = 4
+        a = rng.standard_normal(grid)
+        b = rng.standard_normal((grid, grid))
+        machine = _machine(grid)
+        result = MeshGEMV.run(machine, a, b, broadcast=True)
+        expected = a @ b
+        assert np.allclose(result, expected)
+        # After broadcast, every core in a column holds its chunk.
+        for x in range(grid):
+            for y in range(grid):
+                chunk = machine.core((x, y)).load("gemv.c")
+                assert np.allclose(chunk, expected[x:x + 1])
+
+    def test_rejects_matrix_a(self):
+        machine = _machine(2)
+        with pytest.raises(ShapeError):
+            MeshGEMV.run(machine, np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_rejects_mismatched_dims(self):
+        machine = _machine(2)
+        with pytest.raises(ShapeError):
+            MeshGEMV.run(machine, np.zeros(4), np.zeros((6, 4)))
+
+    def test_rejects_indivisible(self):
+        machine = _machine(4)
+        with pytest.raises(ShapeError):
+            MeshGEMV.run(machine, np.zeros(5), np.zeros((5, 8)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(grid=st.integers(2, 6), tk=st.integers(1, 3), tn=st.integers(1, 3),
+           seed=st.integers(0, 500))
+    def test_property_meshgemv(self, grid, tk, tn, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-5, 6, size=grid * tk).astype(float)
+        b = rng.integers(-5, 6, size=(grid * tk, grid * tn)).astype(float)
+        machine = _machine(grid)
+        assert np.array_equal(MeshGEMV.run(machine, a, b), a @ b)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_with_k_variants(self, k, rng):
+        grid = 6
+        kernel = meshgemv_with_k(k)
+        a = rng.standard_normal(grid)
+        b = rng.standard_normal((grid, grid))
+        machine = _machine(grid)
+        assert np.allclose(kernel.run(machine, a, b), a @ b)
+
+    def test_with_k_invalid(self):
+        with pytest.raises(ValueError):
+            meshgemv_with_k(0)
+
+
+class TestMeasuredCompliance:
+    def test_meshgemv_fewer_stages_than_pipeline(self, rng):
+        grid = 8
+        a = rng.standard_normal(grid)
+        b = rng.standard_normal((grid, grid))
+        mesh = _machine(grid)
+        MeshGEMV.run(mesh, a, b)
+        pipe = _machine(grid)
+        PipelineGEMV.run(pipe, a, b)
+        mesh_stages = sum(
+            1 for r in mesh.trace.comms if "ktree" in r.pattern
+        )
+        pipe_stages = sum(
+            1 for r in pipe.trace.comms if "reduce" in r.pattern
+        )
+        assert mesh_stages < pipe_stages
+
+    def test_meshgemv_route_colours_bounded(self, rng):
+        grid = 8
+        machine = _machine(grid)
+        MeshGEMV.run(machine, rng.standard_normal(grid),
+                     rng.standard_normal((grid, grid)))
+        assert machine.trace.max_paths_per_core <= 3  # K + 1 with K=2
+
+
+class TestCostModel:
+    def test_table6_latency_magnitudes(self, wse2_750):
+        cost16 = MeshGEMV.estimate(wse2_750, rows=16384, cols=16384)
+        cost32 = MeshGEMV.estimate(wse2_750, rows=32768, cols=32768)
+        # Paper: 0.0012 ms and 0.00203 ms.
+        assert 0.0003 < cost16.milliseconds < 0.003
+        assert 0.0006 < cost32.milliseconds < 0.006
+        assert cost32.total_cycles > cost16.total_cycles
+
+    def test_speedup_over_pipeline_in_paper_range(self, wse2_750):
+        # Figure 10 / Section 7.3: up to ~4.6x faster than Cerebras GEMV.
+        mesh = MeshGEMV.estimate(wse2_750, rows=16384, cols=16384)
+        pipe = PipelineGEMV.estimate(wse2_750, rows=16384, cols=16384)
+        speedup = pipe.total_cycles / mesh.total_cycles
+        assert 2.0 < speedup < 10.0
+
+    def test_pipeline_degrades_with_cores(self, wse2_750):
+        shape = GemvShape.square(4096)
+        small = PipelineGEMV.estimate(wse2_750, shape, grid=240)
+        large = PipelineGEMV.estimate(wse2_750, shape, grid=720)
+        assert large.comm_cycles > small.comm_cycles
+
+    def test_meshgemv_comm_grows_slowly(self, wse2_750):
+        shape = GemvShape.square(4096)
+        small = MeshGEMV.estimate(wse2_750, shape, grid=240)
+        large = MeshGEMV.estimate(wse2_750, shape, grid=720)
+        pipe_small = PipelineGEMV.estimate(wse2_750, shape, grid=240)
+        pipe_large = PipelineGEMV.estimate(wse2_750, shape, grid=720)
+        mesh_growth = large.comm_cycles / small.comm_cycles
+        pipe_growth = pipe_large.comm_cycles / pipe_small.comm_cycles
+        assert mesh_growth < pipe_growth
+
+    def test_larger_k_shrinks_stage_count_but_not_always_time(self, wse2_750):
+        shape = GemvShape.square(16384)
+        times = {
+            k: meshgemv_with_k(k).estimate(wse2_750, shape).total_cycles
+            for k in (1, 2, 3, 4)
+        }
+        # K=1 is a two-way linear reduce: clearly worst.
+        assert times[2] < times[1]
+
+    def test_estimate_requires_shape_or_dims(self, wse2_750):
+        with pytest.raises(ShapeError):
+            MeshGEMV.estimate(wse2_750)
+
+    def test_shape_helpers(self):
+        shape = GemvShape.square(100)
+        assert shape.tiles(8) == (13, 13)
+        assert shape.total_macs == 10000
+        with pytest.raises(ShapeError):
+            GemvShape(k=0, n=4)

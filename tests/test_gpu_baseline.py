@@ -1,0 +1,102 @@
+"""Tests for the A100 roofline / vLLM baseline model."""
+
+import pytest
+
+from repro.baselines.gpu import A100, H100, VLLM_OVERHEAD_S, GPUModel, GPUSpec
+from repro.errors import ConfigurationError
+from repro.llm.config import LLAMA2_13B, LLAMA3_8B
+
+
+@pytest.fixture
+def gpu() -> GPUModel:
+    return GPUModel(A100)
+
+
+class TestCublasKernels:
+    def test_gemv_16k_matches_paper(self, gpu):
+        # Paper Table 6: 0.336 ms.
+        assert gpu.gemv_seconds(16384, 16384) * 1e3 == pytest.approx(0.336, rel=0.05)
+
+    def test_gemv_32k_matches_paper(self, gpu):
+        # Paper: 1.231 ms.
+        assert gpu.gemv_seconds(32768, 32768) * 1e3 == pytest.approx(1.231, rel=0.15)
+
+    def test_gemm_16k_matches_paper(self, gpu):
+        # Paper Table 7: 34.4 ms.
+        assert gpu.gemm_seconds(16384, 16384, 16384) * 1e3 == pytest.approx(34.4, rel=0.05)
+
+    def test_gemm_32k_matches_paper(self, gpu):
+        assert gpu.gemm_seconds(32768, 32768, 32768) * 1e3 == pytest.approx(282.1, rel=0.05)
+
+    def test_gemv_scales_with_bytes(self, gpu):
+        assert gpu.gemv_seconds(32768, 32768) == pytest.approx(
+            4 * gpu.gemv_seconds(16384, 16384))
+
+    def test_small_gemm_memory_bound(self, gpu):
+        # A skinny GEMM must fall back to the bandwidth bound.
+        seconds = gpu.gemm_seconds(1, 4096, 4096)
+        memory_bound = (4096 * 4096 * 2 + 2 * 4096 * 2) / (2e12 * 0.8)
+        assert seconds >= memory_bound * 0.99
+
+    def test_invalid_dims(self, gpu):
+        with pytest.raises(ConfigurationError):
+            gpu.gemv_seconds(0, 5)
+        with pytest.raises(ConfigurationError):
+            gpu.gemm_seconds(1, 0, 1)
+
+    def test_energy(self, gpu):
+        assert gpu.energy_joules(2.0) == pytest.approx(2 * A100.power_w)
+
+
+class TestVLLM:
+    def test_decode_8b_matches_paper(self, gpu):
+        # Paper Table 8: 78.36 tok/s at 4096/4096.
+        rate = gpu.vllm_decode_throughput(LLAMA3_8B, 4096, 4096)
+        assert rate == pytest.approx(78.36, rel=0.2)
+
+    def test_decode_13b_matches_paper(self, gpu):
+        rate = gpu.vllm_decode_throughput(LLAMA2_13B, 4096, 4096)
+        assert rate == pytest.approx(47.86, rel=0.2)
+
+    def test_decode_is_weight_stream_bound(self, gpu):
+        per_token = gpu.vllm_decode_seconds_per_token(LLAMA3_8B, 128)
+        stream_floor = LLAMA3_8B.weight_bytes / (2e12 * 0.8)
+        assert per_token >= stream_floor
+
+    def test_kv_growth_slows_decode(self, gpu):
+        short = gpu.vllm_decode_seconds_per_token(LLAMA2_13B, 128)
+        long = gpu.vllm_decode_seconds_per_token(LLAMA2_13B, 8192)
+        assert long > short
+
+    def test_prefill_compute_bound(self, gpu):
+        seconds = gpu.vllm_prefill_seconds(LLAMA3_8B, 4096)
+        flops = 2 * LLAMA3_8B.prefill_macs(4096)
+        assert seconds >= flops / (A100.fp16_flops * A100.gemm_efficiency)
+
+    def test_generation_combines_phases(self, gpu):
+        total = gpu.vllm_generation_seconds(LLAMA3_8B, 1024, 256)
+        prefill = gpu.vllm_prefill_seconds(LLAMA3_8B, 1024)
+        assert total > prefill
+
+    def test_overhead_floor(self, gpu):
+        tiny = gpu.vllm_decode_seconds_per_token(
+            LLAMA3_8B.scaled_to_layers(1), 1)
+        assert tiny >= VLLM_OVERHEAD_S
+
+
+class TestSpecs:
+    def test_h100_faster_than_a100(self):
+        a, h = GPUModel(A100), GPUModel(H100)
+        assert h.gemv_seconds(16384, 16384) < a.gemv_seconds(16384, 16384)
+        assert h.gemm_seconds(8192, 8192, 8192) < a.gemm_seconds(8192, 8192, 8192)
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(Exception):
+            A100.power_w = 1.0  # type: ignore[misc]
+
+    def test_custom_spec(self):
+        spec = GPUSpec(name="x", fp16_flops=1e12, hbm_bytes_per_s=1e11,
+                       power_w=100, gemm_efficiency=1.0, gemv_efficiency=1.0,
+                       onchip_bytes=1)
+        model = GPUModel(spec)
+        assert model.gemv_seconds(1000, 1000) == pytest.approx(2e6 / 1e11)

@@ -1,0 +1,117 @@
+"""Tests for INTERLEAVE (Algorithm 1) — including the paper's example."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.collectives.interleave import (
+    identity_placement,
+    interleave,
+    interleave_placement,
+    inverse_placement,
+    ring_dilation,
+    shift_mapping_1d,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPlacement:
+    def test_paper_example_n5(self):
+        # Figure 7: physical line holds logicals [0, 4, 1, 3, 2].
+        assert interleave_placement(5) == [0, 2, 4, 3, 1]
+
+    def test_n1(self):
+        assert interleave_placement(1) == [0]
+
+    def test_n2(self):
+        assert interleave_placement(2) == [0, 1]
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            interleave_placement(0)
+
+    @given(st.integers(1, 300))
+    def test_is_permutation(self, n):
+        assert sorted(interleave_placement(n)) == list(range(n))
+
+    @given(st.integers(3, 300))
+    def test_dilation_exactly_two(self, n):
+        # The paper proves two hops is optimal and achieved for n >= 3.
+        assert ring_dilation(interleave_placement(n)) == 2
+
+    @given(st.integers(3, 200))
+    def test_identity_dilation_is_wraparound(self, n):
+        assert ring_dilation(identity_placement(n)) == n - 1
+
+    def test_dilation_single_core(self):
+        assert ring_dilation([0]) == 0
+
+    def test_inverse_roundtrip(self):
+        placement = interleave_placement(9)
+        inverse = inverse_placement(placement)
+        for logical, physical in enumerate(placement):
+            assert inverse[physical] == logical
+
+    def test_inverse_rejects_non_permutation(self):
+        with pytest.raises(ConfigurationError):
+            inverse_placement([0, 0, 2])
+
+
+class TestAlgorithm1:
+    def test_paper_walkthrough(self):
+        # "physical core 2 (index=2) sends data to physical core 4
+        #  (send_index=4) and receives from physical core 0".
+        assert interleave(2, 5) == (4, 0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            interleave(5, 5)
+
+    @given(st.integers(2, 150))
+    def test_send_edges_form_single_cycle(self, n):
+        visited = []
+        current = 0
+        for _ in range(n):
+            visited.append(current)
+            current, _ = interleave(current, n)
+        assert current == 0
+        assert sorted(visited) == list(range(n))
+
+    @given(st.integers(2, 150))
+    def test_send_recv_consistent(self, n):
+        for p in range(n):
+            send, _recv = interleave(p, n)
+            _send2, recv2 = interleave(send, n)
+            assert recv2 == p
+
+    @given(st.integers(2, 150))
+    def test_neighbour_distance_bounded_by_two(self, n):
+        for p in range(n):
+            send, recv = interleave(p, n)
+            assert abs(send - p) <= 2
+            assert abs(recv - p) <= 2
+
+
+class TestShiftMapping:
+    @given(st.integers(1, 100), st.integers(-5, 5))
+    def test_mapping_is_permutation(self, n, offset):
+        mapping = shift_mapping_1d(interleave_placement(n), offset)
+        assert sorted(mapping) == list(range(n))
+
+    def test_zero_offset_identity(self):
+        mapping = shift_mapping_1d(interleave_placement(7), 0)
+        assert mapping == list(range(7))
+
+    def test_plus_one_matches_algorithm1(self):
+        n = 9
+        mapping = shift_mapping_1d(interleave_placement(n), 1)
+        for p in range(n):
+            send, _ = interleave(p, n)
+            assert mapping[p] == send
+
+    @given(st.integers(2, 60))
+    def test_opposite_offsets_invert(self, n):
+        placement = interleave_placement(n)
+        forward = shift_mapping_1d(placement, 1)
+        backward = shift_mapping_1d(placement, -1)
+        for p in range(n):
+            assert backward[forward[p]] == p

@@ -1,0 +1,115 @@
+"""Tests for LLM configurations and derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.llm.config import (
+    CODELLAMA_34B,
+    LLAMA2_13B,
+    LLAMA3_8B,
+    MODELS,
+    QWEN2_72B,
+    TINY_GQA,
+    TINY_MHA,
+    TINY_MQA,
+    AttentionVariant,
+    ModelConfig,
+    get_model,
+)
+
+
+class TestVariants:
+    def test_llama3_is_gqa(self):
+        assert LLAMA3_8B.attention_variant is AttentionVariant.GQA
+
+    def test_llama2_13b_is_mha(self):
+        assert LLAMA2_13B.attention_variant is AttentionVariant.MHA
+
+    def test_tiny_mqa(self):
+        assert TINY_MQA.attention_variant is AttentionVariant.MQA
+
+    def test_group_size(self):
+        assert LLAMA3_8B.group_size == 4
+        assert LLAMA2_13B.group_size == 1
+
+    def test_head_dim(self):
+        assert LLAMA3_8B.head_dim == 128
+        assert QWEN2_72B.head_dim == 128
+
+    def test_kv_dim(self):
+        assert LLAMA3_8B.kv_dim == 1024
+        assert LLAMA2_13B.kv_dim == 5120
+
+
+class TestAccounting:
+    def test_llama3_8b_param_count(self):
+        # ~8.0 B parameters.
+        assert 7.5e9 < LLAMA3_8B.total_params < 8.6e9
+
+    def test_llama2_13b_param_count(self):
+        assert 12.5e9 < LLAMA2_13B.total_params < 13.6e9
+
+    def test_codellama_34b_param_count(self):
+        assert 31e9 < CODELLAMA_34B.total_params < 36e9
+
+    def test_qwen2_72b_param_count(self):
+        assert 68e9 < QWEN2_72B.total_params < 76e9
+
+    def test_weight_bytes_fp16(self):
+        assert LLAMA3_8B.weight_bytes == LLAMA3_8B.total_params * 2
+
+    def test_kv_bytes_per_token(self):
+        # GQA: 2 (K,V) * 1024 * 32 layers * 2 B = 128 KiB/token.
+        assert LLAMA3_8B.kv_bytes_per_token() == 2 * 1024 * 32 * 2
+
+    def test_gqa_shrinks_kv_vs_mha(self):
+        per_width_8b = LLAMA3_8B.kv_bytes_per_token() / (
+            LLAMA3_8B.d_model * LLAMA3_8B.num_layers)
+        per_width_13b = LLAMA2_13B.kv_bytes_per_token() / (
+            LLAMA2_13B.d_model * LLAMA2_13B.num_layers)
+        assert per_width_8b < per_width_13b
+
+    def test_decode_macs_grow_with_context(self):
+        short = LLAMA3_8B.decode_macs_per_token(128)
+        long = LLAMA3_8B.decode_macs_per_token(4096)
+        assert long > short
+
+    def test_prefill_macs_superlinear(self):
+        # Attention's L^2 term makes prefill superlinear in sequence.
+        m1 = LLAMA3_8B.prefill_macs(1024)
+        m4 = LLAMA3_8B.prefill_macs(4096)
+        assert m4 > 4 * m1
+
+
+class TestValidationAndRegistry:
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(name="bad", num_layers=1, d_model=100, n_heads=3,
+                        n_kv_heads=1, d_ff=10, vocab_size=10)
+
+    def test_kv_heads_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(name="bad", num_layers=1, d_model=64, n_heads=4,
+                        n_kv_heads=3, d_ff=10, vocab_size=10)
+
+    def test_get_model(self):
+        assert get_model("llama3-8b") is LLAMA3_8B
+
+    def test_get_model_unknown(self):
+        with pytest.raises(KeyError, match="known"):
+            get_model("gpt-5")
+
+    def test_registry_has_paper_models(self):
+        assert {"llama3-8b", "llama2-13b", "codellama-34b", "qwen2-72b"} <= \
+            set(MODELS)
+
+    def test_scaled_to_layers(self):
+        subset = QWEN2_72B.scaled_to_layers(4)
+        assert subset.num_layers == 4
+        assert subset.d_model == QWEN2_72B.d_model
+        assert "[4L]" in subset.name
+
+    def test_tiny_models_divide_small_grids(self):
+        for cfg in (TINY_MHA, TINY_GQA, TINY_MQA):
+            assert cfg.d_model % 4 == 0
+            assert cfg.d_ff % 4 == 0

@@ -1,0 +1,140 @@
+"""Tests for the functional mesh machine."""
+
+import numpy as np
+import pytest
+
+from repro.core.device_presets import TINY_MESH
+from repro.errors import (
+    MemoryCapacityError,
+    PlacementError,
+    ShapeError,
+    SimulationError,
+)
+from repro.mesh.fabric import Flow
+from repro.mesh.machine import MeshMachine
+
+
+class TestPlacement:
+    def test_place_and_read(self, mesh4):
+        mesh4.place("a", (1, 1), np.arange(4.0))
+        assert np.array_equal(mesh4.core((1, 1)).load("a"), np.arange(4.0))
+
+    def test_place_outside_mesh(self, mesh4):
+        with pytest.raises(PlacementError):
+            mesh4.place("a", (4, 0), np.zeros(1))
+
+    def test_scatter_gather_roundtrip(self, mesh4, rng):
+        matrix = rng.standard_normal((8, 12))
+        mesh4.scatter_matrix("m", matrix, 4, 4)
+        assert np.array_equal(mesh4.gather_matrix("m", 4, 4), matrix)
+
+    def test_scatter_block_convention(self, mesh4):
+        # Block (i, j) lands on core (x=j, y=i).
+        matrix = np.arange(16.0).reshape(4, 4)
+        mesh4.scatter_matrix("m", matrix, 4, 4)
+        assert mesh4.core((3, 0)).load("m")[0, 0] == matrix[0, 3]
+
+    def test_scatter_indivisible_raises(self, mesh4):
+        with pytest.raises(ShapeError):
+            mesh4.scatter_matrix("m", np.zeros((5, 8)), 4, 4)
+
+    def test_scatter_grid_too_large(self, mesh4):
+        grid = [[np.zeros(1)] * 5 for _ in range(5)]
+        with pytest.raises(PlacementError):
+            mesh4.scatter_grid("m", grid)
+
+    def test_scatter_grid_ragged(self, mesh4):
+        grid = [[np.zeros(1)] * 2, [np.zeros(1)] * 3]
+        with pytest.raises(ShapeError):
+            mesh4.scatter_grid("m", grid)
+
+    def test_free_everywhere(self, mesh4):
+        mesh4.scatter_matrix("m", np.zeros((4, 4)), 4, 4)
+        mesh4.free("m")
+        assert not any(mesh4.cores[c].has("m") for c in mesh4.topology.coords())
+
+
+class TestCommunication:
+    def test_unicast_moves_copy(self, mesh4):
+        mesh4.place("a", (0, 0), np.array([1.0, 2.0]))
+        mesh4.communicate("p", [Flow.unicast((0, 0), (3, 3), "a", "b")])
+        received = mesh4.core((3, 3)).load("b")
+        assert np.array_equal(received, [1.0, 2.0])
+        # In-flight payloads are copies: mutating source later is safe.
+        mesh4.core((0, 0)).load("a")[0] = 99.0
+        assert received[0] == 1.0
+
+    def test_permutation_simultaneous(self, mesh4):
+        # A 3-cycle of tiles must rotate without overwriting.
+        mesh4.place("t", (0, 0), np.array([0.0]))
+        mesh4.place("t", (1, 0), np.array([1.0]))
+        mesh4.place("t", (2, 0), np.array([2.0]))
+        mapping = {(0, 0): (1, 0), (1, 0): (2, 0), (2, 0): (0, 0)}
+        mesh4.shift_named("rot", mapping, "t", "t")
+        assert mesh4.core((1, 0)).load("t")[0] == 0.0
+        assert mesh4.core((2, 0)).load("t")[0] == 1.0
+        assert mesh4.core((0, 0)).load("t")[0] == 2.0
+
+    def test_non_injective_mapping_rejected(self, mesh4):
+        mesh4.place("t", (0, 0), np.zeros(1))
+        mesh4.place("t", (1, 0), np.zeros(1))
+        mapping = {(0, 0): (2, 0), (1, 0): (2, 0)}
+        with pytest.raises(SimulationError, match="not injective"):
+            mesh4.shift_named("bad", mapping, "t", "t")
+
+    def test_multicast(self, mesh4):
+        mesh4.place("a", (0, 0), np.array([7.0]))
+        dsts = [(1, 0), (2, 0), (3, 0)]
+        mesh4.communicate("b", [Flow.multicast((0, 0), dsts, "a", "a")])
+        for dst in dsts:
+            assert mesh4.core(dst).load("a")[0] == 7.0
+
+    def test_empty_flow_list_is_noop(self, mesh4):
+        mesh4.communicate("p", [])
+        assert not mesh4.trace.comms
+
+    def test_memory_enforced_on_receive(self):
+        machine = MeshMachine(TINY_MESH.submesh(2, 2))
+        big = np.zeros(10_000, dtype=np.float64)  # 80 KB > 64 KB budget
+        machine.cores[(0, 0)].capacity_bytes = 2**30  # roomy source
+        machine.place("a", (0, 0), big)
+        with pytest.raises(MemoryCapacityError):
+            machine.communicate("p", [Flow.unicast((0, 0), (1, 0), "a", "a")])
+
+    def test_enforcement_disabled(self):
+        machine = MeshMachine(TINY_MESH.submesh(2, 2), enforce_memory=False)
+        machine.place("a", (0, 0), np.zeros(100_000))
+        machine.communicate("p", [Flow.unicast((0, 0), (1, 0), "a", "a")])
+
+
+class TestComputeAndTrace:
+    def test_compute_records_macs(self, mesh4):
+        mesh4.place("x", (0, 0), np.ones(3))
+
+        def work(core):
+            core.store("y", core.load("x") * 2)
+            return 3.0
+
+        mesh4.compute("double", [(0, 0)], work)
+        assert mesh4.trace.computes[-1].max_macs == 3.0
+        assert np.array_equal(mesh4.core((0, 0)).load("y"), [2, 2, 2])
+
+    def test_compute_all_covers_mesh(self, mesh4):
+        mesh4.compute_all("noop", lambda core: 1.0)
+        assert mesh4.trace.computes[-1].num_cores == 16
+
+    def test_steps_advance(self, mesh4):
+        assert mesh4.step == 0
+        mesh4.advance_step()
+        assert mesh4.step == 1
+
+    def test_trace_comm_metrics(self, mesh4):
+        mesh4.place("a", (0, 0), np.zeros(4, dtype=np.float32))
+        mesh4.communicate("p", [Flow.unicast((0, 0), (3, 0), "a", "a")])
+        record = mesh4.trace.comms[-1]
+        assert record.max_hops == 3
+        assert record.max_payload_bytes == 16
+
+    def test_peak_memory_tracked(self, mesh4):
+        mesh4.place("a", (0, 0), np.zeros(1024, dtype=np.float32))
+        assert mesh4.peak_memory_bytes() >= 4096

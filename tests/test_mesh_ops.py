@@ -1,0 +1,95 @@
+"""Tests for the padded mesh-op wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.llm.mesh_ops import MeshOpContext
+
+
+@pytest.fixture
+def ops() -> MeshOpContext:
+    return MeshOpContext(grid=4)
+
+
+class TestMatrixOps:
+    def test_gemm_odd_shapes(self, ops, rng):
+        a = rng.standard_normal((5, 7))
+        b = rng.standard_normal((7, 3))
+        assert np.allclose(ops.gemm(a, b), a @ b)
+
+    def test_gemm_shape_mismatch(self, ops):
+        with pytest.raises(ShapeError):
+            ops.gemm(np.zeros((2, 3)), np.zeros((4, 2)))
+
+    def test_gemm_t(self, ops, rng):
+        a = rng.standard_normal((5, 6))
+        b = rng.standard_normal((9, 6))
+        assert np.allclose(ops.gemm_t(a, b), a @ b.T)
+
+    def test_gemm_t_mismatch(self, ops):
+        with pytest.raises(ShapeError):
+            ops.gemm_t(np.zeros((2, 3)), np.zeros((4, 5)))
+
+    def test_gemv(self, ops, rng):
+        a = rng.standard_normal(10)
+        b = rng.standard_normal((10, 6))
+        assert np.allclose(ops.gemv(a, b), a @ b)
+
+    def test_gemv_rejects_matrix(self, ops):
+        with pytest.raises(ShapeError):
+            ops.gemv(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_small_grid_context(self, rng):
+        ops = MeshOpContext(grid=2)
+        a = rng.standard_normal((3, 3))
+        assert np.allclose(ops.gemm(a, a), a @ a)
+
+
+class TestReductionOps:
+    def test_reduce_sum(self, ops, rng):
+        x = rng.standard_normal(37)
+        assert ops.reduce_sum(x) == pytest.approx(x.sum())
+
+    def test_reduce_max(self, ops, rng):
+        x = rng.standard_normal(23)
+        assert ops.reduce_max(x) == pytest.approx(x.max())
+
+    def test_rms_norm_matches_dense(self, ops, rng):
+        from repro.llm.reference import rms_norm
+        x = rng.standard_normal(16)
+        w = rng.standard_normal(16)
+        assert np.allclose(ops.rms_norm(x, w, 1e-5), rms_norm(x, w, 1e-5))
+
+    def test_softmax_matches_dense(self, ops, rng):
+        from repro.llm.reference import softmax
+        x = rng.standard_normal(11)
+        assert np.allclose(ops.softmax(x), softmax(x))
+
+    def test_softmax_with_mask(self, ops):
+        x = np.array([0.5, -np.inf, 0.5, -np.inf])
+        probs = ops.softmax(x)
+        assert probs[1] == 0.0 and probs[3] == 0.0
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_softmax_fully_masked_rejected(self, ops):
+        with pytest.raises(ShapeError):
+            ops.softmax(np.array([-np.inf, -np.inf]))
+
+    def test_row_variants(self, ops, rng):
+        from repro.llm.reference import rms_norm, softmax
+        x = rng.standard_normal((3, 8))
+        w = np.ones(8)
+        assert np.allclose(ops.rms_norm_rows(x, w, 1e-5), rms_norm(x, w, 1e-5))
+        assert np.allclose(ops.softmax_rows(x), softmax(x, axis=-1))
+
+
+class TestAccounting:
+    def test_traces_accumulate(self, ops, rng):
+        before = ops.total_kernels()
+        ops.gemm(rng.standard_normal((4, 4)), rng.standard_normal((4, 4)))
+        ops.reduce_sum(np.ones(8))
+        assert ops.total_kernels() == before + 2
+
+    def test_max_paths_empty(self):
+        assert MeshOpContext().max_paths_per_core() == 0

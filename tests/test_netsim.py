@@ -1,0 +1,118 @@
+"""Tests for the fluid NoC simulator and its cost-model cross-checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.device_presets import TINY_MESH, WSE2
+from repro.errors import ConfigurationError
+from repro.mesh.netsim import (
+    FlowSpec,
+    allgather_incast_slowdown,
+    cannon_wraparound_slowdown,
+    phase_makespan,
+    simulate_flows,
+)
+
+
+@pytest.fixture
+def device():
+    return TINY_MESH.submesh(8, 8)
+
+
+class TestSingleFlow:
+    def test_matches_closed_form(self, device):
+        result = simulate_flows(device, [FlowSpec((0, 0), (4, 0), 40.0)])[0]
+        # 4 hops + 40 B / 4 B-per-cycle = 14 cycles.
+        assert result.completion_cycles == pytest.approx(14.0)
+        assert result.slowdown == pytest.approx(1.0)
+
+    def test_xy_route_hops(self, device):
+        result = simulate_flows(device, [FlowSpec((0, 0), (3, 2), 4.0)])[0]
+        assert result.hops == 5
+
+    def test_local_flow_zero_hops(self, device):
+        result = simulate_flows(device, [FlowSpec((2, 2), (2, 2), 8.0)])[0]
+        assert result.hops == 0
+        assert result.completion_cycles == pytest.approx(2.0)
+
+    def test_invalid_payload(self):
+        with pytest.raises(ConfigurationError):
+            FlowSpec((0, 0), (1, 0), 0.0)
+
+
+class TestContention:
+    def test_shared_link_halves_rate(self, device):
+        flows = [FlowSpec((0, 0), (2, 0), 40.0),
+                 FlowSpec((0, 0), (2, 0), 40.0)]
+        results = simulate_flows(device, flows)
+        for result in results:
+            assert result.completion_cycles == pytest.approx(2 + 20)
+            assert result.slowdown == pytest.approx(22 / 12)
+
+    def test_disjoint_flows_do_not_interact(self, device):
+        flows = [FlowSpec((0, 0), (3, 0), 40.0),
+                 FlowSpec((0, 5), (3, 5), 40.0)]
+        for result in simulate_flows(device, flows):
+            assert result.slowdown == pytest.approx(1.0)
+
+    def test_opposite_directions_full_duplex(self, device):
+        flows = [FlowSpec((0, 0), (3, 0), 40.0),
+                 FlowSpec((3, 0), (0, 0), 40.0)]
+        for result in simulate_flows(device, flows):
+            assert result.slowdown == pytest.approx(1.0)
+
+    def test_max_min_fairness_short_flow_releases_capacity(self, device):
+        # A short flow shares a link with a long one; once it drains the
+        # long flow speeds up, finishing sooner than a constant half-rate.
+        flows = [FlowSpec((0, 0), (2, 0), 8.0),
+                 FlowSpec((0, 0), (2, 0), 80.0)]
+        results = simulate_flows(device, flows)
+        long_flow = max(results, key=lambda r: r.spec.payload_bytes)
+        assert long_flow.completion_cycles < 2 + 80 / 2
+        assert long_flow.completion_cycles > 2 + 80 / 4
+
+    def test_makespan_is_max(self, device):
+        flows = [FlowSpec((0, 0), (1, 0), 4.0),
+                 FlowSpec((0, 1), (7, 1), 400.0)]
+        makespan = phase_makespan(device, flows)
+        worst = max(r.completion_cycles for r in simulate_flows(device, flows))
+        assert makespan == pytest.approx(worst)
+
+    def test_empty_phase(self, device):
+        assert phase_makespan(device, []) == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 6), payload=st.floats(4.0, 400.0))
+    def test_conservation_property(self, n, payload):
+        # Total delivered bytes / makespan never exceeds aggregate
+        # capacity of the links actually used.
+        device = TINY_MESH.submesh(8, 8)
+        flows = [FlowSpec((0, y), (7, y), payload) for y in range(n)]
+        results = simulate_flows(device, flows)
+        for result in results:
+            assert result.average_rate <= device.link_bytes_per_cycle + 1e-9
+
+
+class TestKernelScenarios:
+    def test_cannon_wraparound_is_latency_not_bandwidth(self):
+        # Full-duplex links: the wraparound suffers ~no contention.
+        slowdown = cannon_wraparound_slowdown(WSE2, 100, 1000.0)
+        assert slowdown == pytest.approx(1.0, abs=0.05)
+
+    def test_allgather_incast_serializes(self):
+        # The tail's single link serializes ~ (N-1) tiles.
+        n = 16
+        slowdown = allgather_incast_slowdown(WSE2, n, 1000.0)
+        assert slowdown > (n - 1) * 0.5
+        assert slowdown < (n - 1) * 1.5
+
+    def test_incast_grows_with_row_length(self):
+        s8 = allgather_incast_slowdown(WSE2, 8, 500.0)
+        s32 = allgather_incast_slowdown(WSE2, 32, 500.0)
+        assert s32 > s8
+
+    def test_scenario_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            cannon_wraparound_slowdown(WSE2, 2, 10.0)
+        with pytest.raises(ConfigurationError):
+            allgather_incast_slowdown(TINY_MESH, 100, 10.0)

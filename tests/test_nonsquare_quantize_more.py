@@ -1,0 +1,94 @@
+"""Additional coverage: non-square GEMM properties, int4, projections."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import WSE2
+from repro.core.device_presets import TINY_MESH
+from repro.gemm import LogicalGrid, MeshGEMM, MeshGEMMNonSquare
+from repro.gemm.base import GemmShape
+from repro.llm.checkpoint import synthesize_weights
+from repro.llm.config import LLAMA3_8B, TINY_MHA
+from repro.llm.projections import wider_variant
+from repro.llm.quantize import quantize_weights
+from repro.llm.reference import ReferenceTransformer
+from repro.mesh.machine import MeshMachine
+
+
+class TestNonSquareProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(nh=st.integers(2, 4), nw=st.integers(2, 4),
+           seed=st.integers(0, 100))
+    def test_property_matches_numpy(self, nh, nw, seed):
+        rng = np.random.default_rng(seed)
+        grid = LogicalGrid(nh, nw)
+        n = grid.n
+        a = rng.integers(-3, 4, size=(n, n)).astype(float)
+        b = rng.integers(-3, 4, size=(n, n)).astype(float)
+        machine = MeshMachine(TINY_MESH.submesh(nw, nh))
+        assert np.array_equal(MeshGEMMNonSquare.run(machine, a, b), a @ b)
+
+    def test_square_fold_degenerates_to_meshgemm(self, rng):
+        # On a square mesh the fold hosts one slot per core; results
+        # must agree with the square kernel exactly.
+        side = 4
+        a = rng.integers(-3, 4, size=(side, side)).astype(float)
+        b = rng.integers(-3, 4, size=(side, side)).astype(float)
+        m1 = MeshMachine(TINY_MESH.submesh(side, side))
+        m2 = MeshMachine(TINY_MESH.submesh(side, side))
+        assert np.array_equal(
+            MeshGEMMNonSquare.run(m1, a, b), MeshGEMM.run(m2, a, b)
+        )
+
+    def test_slots_per_core_balanced(self):
+        grid = LogicalGrid(3, 4)
+        counts = {}
+        for i in range(grid.n):
+            for j in range(grid.n):
+                coord = grid.physical((i, j))
+                counts[coord] = counts.get(coord, 0) + 1
+        values = set(counts.values())
+        assert values == {grid.rows_per_core * grid.cols_per_core}
+
+    def test_nonsquare_estimate_close_to_square_equivalent(self):
+        # A 300x480 fabric (144k cores) should price a GEMM within ~2x
+        # of a square fabric with the same core count (379^2).
+        shape = GemmShape.square(4096)
+        rect = MeshGEMMNonSquare.estimate(WSE2.submesh(480, 300), shape)
+        square = MeshGEMM.estimate(WSE2, shape, grid=379)
+        ratio = rect.total_cycles / square.total_cycles
+        assert 0.5 < ratio < 2.5
+
+
+class TestInt4:
+    def test_int4_still_roughly_works(self):
+        weights = synthesize_weights(TINY_MHA, seed=44)
+        restored = quantize_weights(weights, 4).dequantize()
+        tokens = np.array([2, 5, 1])
+        exact = ReferenceTransformer(weights).forward(tokens)
+        coarse = ReferenceTransformer(restored).forward(tokens)
+        scale = np.max(np.abs(exact))
+        # int4 is lossy but bounded.
+        assert np.max(np.abs(exact - coarse)) / scale < 0.5
+
+    def test_int4_worse_than_int8(self):
+        from repro.llm.quantize import quantization_error
+        weights = synthesize_weights(TINY_MHA, seed=44)
+        assert quantization_error(weights, 4) > quantization_error(weights, 8)
+
+
+class TestWiderVariantEdges:
+    def test_factor_one_identity_shape(self):
+        wide = wider_variant(LLAMA3_8B, 1.0)
+        assert wide.d_model == LLAMA3_8B.d_model
+        assert wide.num_layers == LLAMA3_8B.num_layers
+
+    def test_kv_heads_always_divide(self):
+        for factor in (1.5, 2.0, 3.0, 4.0, 8.0):
+            wide = wider_variant(LLAMA3_8B, factor)
+            assert wide.n_heads % wide.n_kv_heads == 0
+
+    def test_extreme_width_single_layer_floor(self):
+        wide = wider_variant(LLAMA3_8B, 64.0)
+        assert wide.num_layers >= 1

@@ -1,0 +1,111 @@
+"""Tests for the first-class distributed RMSNorm / softmax kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.device_presets import TINY_MESH
+from repro.errors import ShapeError
+from repro.llm.reference import rms_norm, softmax
+from repro.mesh.cost_model import estimate
+from repro.mesh.machine import MeshMachine
+from repro.ops import DistributedRMSNorm, DistributedSoftmax
+
+
+def _machine(side=6):
+    return MeshMachine(TINY_MESH.submesh(side, side))
+
+
+class TestDistributedRMSNorm:
+    @pytest.mark.parametrize("n", [5, 12, 17, 64])
+    def test_matches_dense(self, n, rng):
+        x = rng.standard_normal(n)
+        w = rng.standard_normal(n)
+        got = DistributedRMSNorm.run(_machine(), x, w, eps=1e-5)
+        assert np.allclose(got, rms_norm(x, w, 1e-5))
+
+    def test_on_chosen_row(self, rng):
+        machine = _machine()
+        x = rng.standard_normal(10)
+        got = DistributedRMSNorm.run(machine, x, np.ones(10), 1e-5, row=3)
+        assert np.allclose(got, rms_norm(x, np.ones(10), 1e-5))
+
+    def test_weight_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            DistributedRMSNorm.run(_machine(), np.ones(8), np.ones(7), 1e-5)
+
+    def test_cleans_up_tiles(self, rng):
+        machine = _machine()
+        DistributedRMSNorm.run(machine, rng.standard_normal(12),
+                               np.ones(12), 1e-5)
+        for x in range(6):
+            assert not machine.core((x, 0)).has("rms.x")
+
+    def test_uses_ktree_routing_budget(self, rng):
+        machine = _machine(8)
+        DistributedRMSNorm.run(machine, rng.standard_normal(16),
+                               np.ones(16), 1e-5)
+        # K-tree colours + one broadcast colour.
+        assert machine.trace.max_paths_per_core <= 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 40), seed=st.integers(0, 100))
+    def test_property_matches_dense(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        got = DistributedRMSNorm.run(_machine(4), x, np.ones(n), 1e-6)
+        assert np.allclose(got, rms_norm(x, np.ones(n), 1e-6))
+
+    def test_plan_positive(self):
+        cost = estimate("rms", TINY_MESH, DistributedRMSNorm.plan(8, 4096))
+        assert cost.total_cycles > 0
+        assert cost.comm_cycles > 0
+
+
+class TestDistributedSoftmax:
+    @pytest.mark.parametrize("n", [4, 9, 23, 48])
+    def test_matches_dense(self, n, rng):
+        scores = rng.standard_normal(n)
+        got = DistributedSoftmax.run(_machine(), scores)
+        assert np.allclose(got, softmax(scores))
+
+    def test_masked_entries(self):
+        scores = np.array([0.3, -np.inf, 1.2, -np.inf, 0.0])
+        got = DistributedSoftmax.run(_machine(), scores)
+        assert got[1] == 0.0 and got[3] == 0.0
+        assert got.sum() == pytest.approx(1.0)
+
+    def test_fully_masked_rejected(self):
+        with pytest.raises(ShapeError):
+            DistributedSoftmax.run(_machine(), np.full(4, -np.inf))
+
+    def test_large_scores_stable(self):
+        scores = np.array([1000.0, 1000.0, 999.0, 998.0])
+        got = DistributedSoftmax.run(_machine(4), scores)
+        assert np.isfinite(got).all()
+        assert got.sum() == pytest.approx(1.0)
+
+    def test_two_allreduces_in_trace(self, rng):
+        machine = _machine()
+        DistributedSoftmax.run(machine, rng.standard_normal(12))
+        patterns = machine.trace.patterns()
+        assert any("sm-ktree-max" in p for p in patterns)
+        assert any("sm-ktree-sum" in p for p in patterns)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 40), seed=st.integers(0, 100))
+    def test_property_matches_dense(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.standard_normal(n)
+        got = DistributedSoftmax.run(_machine(4), scores)
+        assert np.allclose(got, softmax(scores))
+
+    def test_plan_has_two_reduction_rounds(self):
+        from repro.mesh.cost_model import ReducePhase
+        plan = DistributedSoftmax.plan(16, 4096)
+        rms_plan = DistributedRMSNorm.plan(16, 4096)
+        softmax_reduces = sum(
+            p.stages for p in plan if isinstance(p, ReducePhase))
+        rms_reduces = sum(
+            p.stages for p in rms_plan if isinstance(p, ReducePhase))
+        assert softmax_reduces == 2 * rms_reduces

@@ -1,0 +1,148 @@
+"""Tests for the PLMR device model and presets."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DOJO_LIKE,
+    IPU_LIKE,
+    PRESETS,
+    TENSTORRENT_LIKE,
+    TINY_MESH,
+    WSE2,
+    WSE3,
+    PLMRDevice,
+    get_device,
+    square_mesh_for,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_default_is_valid(self):
+        device = PLMRDevice()
+        assert device.num_cores == 64 * 64
+
+    @pytest.mark.parametrize("field,value", [
+        ("mesh_width", 0),
+        ("mesh_height", -3),
+        ("core_memory_bytes", 0),
+        ("clock_hz", 0.0),
+        ("macs_per_cycle", 0.0),
+        ("message_bytes", 0),
+        ("max_paths_per_core", 0),
+    ])
+    def test_invalid_parameters_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            PLMRDevice(**{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            WSE2.mesh_width = 1  # type: ignore[misc]
+
+
+class TestDerivedQuantities:
+    def test_num_cores(self):
+        assert WSE2.num_cores == 990 * 860
+
+    def test_wse2_is_roughly_850k_cores(self):
+        assert 800_000 <= WSE2.num_cores <= 900_000
+
+    def test_total_memory_near_40gb(self):
+        assert 38 <= WSE2.total_memory_bytes / 2**30 <= 42
+
+    def test_max_hops(self):
+        device = PLMRDevice(mesh_width=10, mesh_height=7)
+        assert device.max_hops == 9 + 6
+
+    def test_max_axis_hops(self):
+        device = PLMRDevice(mesh_width=10, mesh_height=7)
+        assert device.max_axis_hops == 10
+
+    def test_latency_variance_near_1000x_for_wse2(self):
+        # The paper's headline L figure: ~1000x local-vs-remote variance.
+        assert 800 <= WSE2.latency_variance <= 1200
+
+    def test_peak_macs(self):
+        device = PLMRDevice(mesh_width=2, mesh_height=2,
+                            macs_per_cycle=4, clock_hz=1e9)
+        assert device.peak_macs_per_s == 4 * 4 * 1e9
+
+    def test_aggregate_link_bandwidth_positive(self):
+        # Section 4.4 quotes 100s of Pbit/s aggregate NoC bandwidth.
+        pbits = WSE2.aggregate_link_bandwidth * 8 / 1e15
+        assert pbits > 50
+
+    def test_cycle_second_roundtrip(self):
+        assert WSE2.seconds_to_cycles(WSE2.cycles_to_seconds(1234.0)) == pytest.approx(1234.0)
+
+    def test_energy_is_power_times_time(self):
+        assert WSE2.energy_joules(2.0) == pytest.approx(2.0 * WSE2.device_power_w)
+
+
+class TestSubmesh:
+    def test_submesh_dimensions(self):
+        sub = WSE2.submesh(660)
+        assert sub.mesh_width == 660 and sub.mesh_height == 660
+
+    def test_submesh_inherits_per_core_parameters(self):
+        sub = WSE2.submesh(100, 50)
+        assert sub.core_memory_bytes == WSE2.core_memory_bytes
+        assert sub.clock_hz == WSE2.clock_hz
+        assert sub.device_power_w == WSE2.device_power_w
+
+    def test_submesh_name_annotated(self):
+        assert "[64x64]" in WSE2.submesh(64).name
+
+    def test_submesh_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WSE2.submesh(2000)
+
+    def test_submesh_rectangular(self):
+        sub = WSE2.submesh(100, 200)
+        assert (sub.mesh_width, sub.mesh_height) == (100, 200)
+
+    def test_square_mesh_for(self):
+        sub = square_mesh_for(WSE2, 10_000)
+        assert sub.mesh_width == sub.mesh_height == 100
+
+    def test_square_mesh_for_caps_at_fabric(self):
+        sub = square_mesh_for(TINY_MESH, 10_000)
+        assert sub.mesh_width == 8
+
+
+class TestPresets:
+    def test_all_presets_registered(self):
+        assert {"cerebras-wse2", "cerebras-wse3", "dojo-like",
+                "tenstorrent-like", "ipu-like-crossbar",
+                "tiny-test-mesh"} <= set(PRESETS)
+
+    def test_get_device(self):
+        assert get_device("cerebras-wse2") is WSE2
+
+    def test_get_device_unknown(self):
+        with pytest.raises(KeyError, match="known presets"):
+            get_device("tpu-v5")
+
+    def test_wse3_doubles_core_throughput(self):
+        # Section 7.5: WSE-3 "increases core efficiency by 100%".
+        assert WSE3.macs_per_cycle == 2 * WSE2.macs_per_cycle
+
+    def test_ipu_crossbar_has_flat_latency(self):
+        # The crossbar device models hop-invariant access: this is the
+        # assumption T10 wrongly carries onto meshes.
+        assert IPU_LIKE.hop_cycles == 0.0
+
+    def test_dojo_has_megabyte_cores(self):
+        assert DOJO_LIKE.core_memory_bytes >= 2**20
+
+    def test_presets_describe(self):
+        for device in (WSE2, WSE3, DOJO_LIKE, TENSTORRENT_LIKE):
+            summary = device.describe()
+            assert summary["P (cores)"] == device.num_cores
+            assert summary["M (bytes/core)"] == device.core_memory_bytes
+
+    def test_wse2_scale_dwarfs_tenstorrent(self):
+        # PLMR spans device scales (Section 3.1).
+        assert WSE2.num_cores > 1000 * TENSTORRENT_LIKE.num_cores

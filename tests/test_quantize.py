@@ -1,0 +1,124 @@
+"""Tests for weight quantization and its system-level effects."""
+
+import numpy as np
+import pytest
+
+from repro.core import WSE2
+from repro.errors import ConfigurationError
+from repro.llm.checkpoint import synthesize_weights
+from repro.llm.config import LLAMA2_13B, QWEN2_72B, TINY_GQA
+from repro.llm.kvcache import capacity_geometry
+from repro.llm.quantize import (
+    quantization_error,
+    quantize_tensor,
+    quantize_weights,
+    quantized_config,
+)
+from repro.llm.reference import ReferenceTransformer
+from repro.llm.wafer_system import WaferLLMSystem
+from repro.runtime.memory_audit import audit_model
+
+
+class TestTensorQuantization:
+    def test_roundtrip_error_small_int8(self, rng):
+        weight = rng.standard_normal((64, 32)) * 0.05
+        restored = quantize_tensor(weight, 8).dequantize()
+        rel = np.linalg.norm(weight - restored) / np.linalg.norm(weight)
+        assert rel < 0.01
+
+    def test_int16_tighter_than_int8_tighter_than_int4(self, rng):
+        weight = rng.standard_normal((64, 32))
+        errors = {}
+        for bits in (4, 8, 16):
+            restored = quantize_tensor(weight, bits).dequantize()
+            errors[bits] = np.linalg.norm(weight - restored)
+        assert errors[16] < errors[8] < errors[4]
+
+    def test_zero_column_safe(self):
+        weight = np.zeros((8, 4))
+        weight[:, 0] = 1.0
+        restored = quantize_tensor(weight, 8).dequantize()
+        assert np.allclose(restored[:, 1:], 0.0)
+        assert np.allclose(restored[:, 0], 1.0, atol=0.02)
+
+    def test_codes_within_range(self, rng):
+        quantized = quantize_tensor(rng.standard_normal((16, 16)), 8)
+        assert quantized.data.dtype == np.int8
+        assert np.abs(quantized.data).max() <= 127
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            quantize_tensor(np.zeros((2, 2)), 7)
+
+    def test_requires_matrix(self):
+        with pytest.raises(ConfigurationError):
+            quantize_tensor(np.zeros(8), 8)
+
+
+class TestModelQuantization:
+    @pytest.fixture(scope="class")
+    def weights(self):
+        return synthesize_weights(TINY_GQA, seed=21)
+
+    def test_storage_roughly_halves(self, weights):
+        quantized = quantize_weights(weights, 8)
+        fp16_bytes = weights.config.total_params * 2
+        assert quantized.weight_bytes < 0.8 * fp16_bytes
+
+    def test_worst_relative_error_small(self, weights):
+        assert quantization_error(weights, 8) < 0.01
+
+    def test_inference_logits_close(self, weights):
+        tokens = np.array([3, 9, 1, 4])
+        exact = ReferenceTransformer(weights).forward(tokens)
+        restored = ReferenceTransformer(
+            quantize_weights(weights, 8).dequantize()).forward(tokens)
+        scale = np.max(np.abs(exact))
+        assert np.max(np.abs(exact - restored)) / scale < 0.05
+
+    def test_greedy_tokens_usually_match(self, weights):
+        prompt = np.array([5, 2, 8])
+        exact = ReferenceTransformer(weights).generate(prompt, 6)
+        restored = ReferenceTransformer(
+            quantize_weights(weights, 8).dequantize()).generate(prompt, 6)
+        matches = int(np.sum(exact == restored))
+        assert matches >= 4  # int8 may flip a near-tie occasionally
+
+    def test_dequantized_config_marks_width(self, weights):
+        restored = quantize_weights(weights, 8).dequantize()
+        assert restored.config.dtype_bytes == 1
+        assert restored.config.name.endswith("-int8")
+
+
+class TestSystemEffects:
+    def test_int8_13b_relieves_memory_pressure(self):
+        fp16 = audit_model(LLAMA2_13B, WSE2)
+        int8 = audit_model(quantized_config(LLAMA2_13B, 8), WSE2)
+        assert int8.weights_per_core == pytest.approx(
+            fp16.weights_per_core / 2)
+        assert int8.kv_budget_per_core > fp16.kv_budget_per_core
+
+    def test_int8_does_not_rescue_72b(self):
+        # Even int8 QWen2-72B exceeds the WSE-2 (72 GB > 40 GB SRAM).
+        assert not audit_model(quantized_config(QWEN2_72B, 8),
+                               WSE2).fits_end_to_end
+
+    def test_kv_capacity_doubles(self):
+        fp16_geo = capacity_geometry(LLAMA2_13B, 375,
+                                     WSE2.core_memory_bytes, WSE2.num_cores)
+        int8_geo = capacity_geometry(quantized_config(LLAMA2_13B, 8), 375,
+                                     WSE2.core_memory_bytes, WSE2.num_cores)
+        assert int8_geo.tokens_per_row > 2 * fp16_geo.tokens_per_row
+
+    def test_prefill_speeds_up_with_narrower_weights(self):
+        system = WaferLLMSystem(WSE2)
+        fp16 = system.prefill_throughput(LLAMA2_13B, 4096, 600)
+        int8 = system.prefill_throughput(quantized_config(LLAMA2_13B, 8),
+                                         4096, 600)
+        assert int8 > 1.3 * fp16
+
+    def test_pipeline_stages_shrink(self):
+        from repro.runtime import PipelineSchedule
+        fp16 = PipelineSchedule(LLAMA2_13B, WSE2, 375)
+        int8 = PipelineSchedule(quantized_config(LLAMA2_13B, 8), WSE2, 375)
+        assert int8.num_stages < fp16.num_stages

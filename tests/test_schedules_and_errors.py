@@ -1,0 +1,138 @@
+"""Tests for op schedules, the error hierarchy, and system-model internals."""
+
+import pytest
+
+from repro import errors
+from repro.core import WSE2
+from repro.llm.config import LLAMA2_13B, LLAMA3_8B
+from repro.llm.ops_schedule import (
+    LayerOp,
+    OpKind,
+    decode_layer_schedule,
+    lm_head_schedule,
+    prefill_layer_schedule,
+    schedule_macs,
+)
+from repro.llm.wafer_system import WaferLLMSystem, _WEIGHT_OPS
+from repro.mesh.cost_model import ComputePhase
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("ConfigurationError", "ShapeError", "PLMRViolation",
+                     "PlacementError", "SimulationError", "KVCacheError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_plmr_violations(self):
+        for name in ("MemoryCapacityError", "RoutingResourceError",
+                     "MessageSizeError"):
+            assert issubclass(getattr(errors, name), errors.PLMRViolation)
+
+    def test_memory_error_carries_context(self):
+        err = errors.MemoryCapacityError((1, 2), requested=10,
+                                         capacity=5, resident=3)
+        assert err.coord == (1, 2)
+        assert "10 B" in str(err) and "5 B" in str(err)
+
+    def test_routing_error_message(self):
+        err = errors.RoutingResourceError((0, 0), requested=9, limit=8)
+        assert "9 routing paths" in str(err)
+
+    def test_capacity_exceeded_detail(self):
+        err = errors.CapacityExceeded(42, "bottom row full")
+        assert err.tokens_stored == 42
+        assert "bottom row full" in str(err)
+
+
+class TestSchedules:
+    def test_prefill_op_order_attention_before_ffn(self):
+        ops = [op.name for op in prefill_layer_schedule(LLAMA3_8B, 64)]
+        assert ops.index("scores") < ops.index("wo") < ops.index("w-gate")
+
+    def test_prefill_has_one_transfer(self):
+        ops = prefill_layer_schedule(LLAMA3_8B, 64)
+        transfers = [op for op in ops if op.kind is OpKind.TRANSFER]
+        assert len(transfers) == 1
+
+    def test_decode_context_dependence(self):
+        short = decode_layer_schedule(LLAMA3_8B, 10)
+        long = decode_layer_schedule(LLAMA3_8B, 1000)
+        score_short = next(op for op in short if op.name == "scores")
+        score_long = next(op for op in long if op.name == "scores")
+        assert score_long.n == 100 * score_short.n
+
+    def test_decode_rows_equal_heads(self):
+        ops = decode_layer_schedule(LLAMA3_8B, 128)
+        scores = next(op for op in ops if op.name == "scores")
+        assert scores.rows == LLAMA3_8B.n_heads
+
+    def test_lm_head_modes(self):
+        gemv = lm_head_schedule(LLAMA3_8B, 1)
+        gemm = lm_head_schedule(LLAMA3_8B, 64)
+        assert gemv[1].kind is OpKind.GEMV
+        assert gemm[1].kind is OpKind.GEMM
+        assert gemm[1].m == 64
+
+    def test_elementwise_ops_have_zero_macs(self):
+        op = LayerOp(OpKind.ELEMENTWISE, "rope", n=4096)
+        assert op.macs == 0.0
+
+    def test_schedule_macs_sums_matrix_ops_only(self):
+        ops = [
+            LayerOp(OpKind.GEMV, "a", k=10, n=10),
+            LayerOp(OpKind.NORM, "b", n=100),
+        ]
+        assert schedule_macs(ops) == 100.0
+
+    def test_13b_mha_kv_ops_wider_than_8b_gqa(self):
+        ops_8b = decode_layer_schedule(LLAMA3_8B, 64)
+        ops_13b = decode_layer_schedule(LLAMA2_13B, 64)
+        wk_8b = next(op for op in ops_8b if op.name == "wk")
+        wk_13b = next(op for op in ops_13b if op.name == "wk")
+        assert wk_13b.n == 5120 and wk_8b.n == 1024
+
+
+class TestWaferSystemInternals:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return WaferLLMSystem(WSE2)
+
+    def test_subgrid_for_heads(self, system):
+        assert system._subgrid(660, 32, 4096, 128, 4096) == 110
+        assert system._subgrid(660, 1, 4096, 128, 4096) == 128
+
+    def test_subgrid_floors_at_one(self, system):
+        assert system._subgrid(4, 32, 10, 10, 10) == 1
+
+    def test_weight_stream_only_on_weight_ops(self, system):
+        op = LayerOp(OpKind.GEMM, "scores", m=64, k=64, n=64)
+        phases = system.phases_for_op(op, 480, "prefill", LLAMA3_8B)
+        assert not any("stream" in p.label for p in phases)
+        op = LayerOp(OpKind.GEMM, "wq", m=64, k=4096, n=4096)
+        phases = system.phases_for_op(op, 480, "prefill", LLAMA3_8B)
+        assert any("stream" in p.label for p in phases)
+
+    def test_decode_never_streams_weights(self, system):
+        op = LayerOp(OpKind.GEMV, "wq", k=4096, n=4096)
+        phases = system.phases_for_op(op, 360, "decode", LLAMA3_8B)
+        assert not any("stream" in p.label for p in phases)
+
+    def test_weight_ops_registry(self):
+        assert {"wq", "wk", "wv", "wo", "w-gate", "w-up", "w-down",
+                "lm-head"} == _WEIGHT_OPS
+
+    def test_unknown_op_kind_rejected(self, system):
+        class FakeKind:
+            pass
+
+        op = LayerOp(OpKind.GEMM, "x", m=2, k=2, n=2)
+        object.__setattr__(op, "kind", FakeKind())
+        with pytest.raises(ValueError):
+            system.phases_for_op(op, 100, "prefill", LLAMA3_8B)
+
+    def test_launch_overhead_charged_per_op(self, system):
+        op = LayerOp(OpKind.GEMV, "wq", k=4096, n=4096)
+        phases = system.phases_for_op(op, 360, "decode", LLAMA3_8B)
+        launches = [p for p in phases
+                    if isinstance(p, ComputePhase) and "launch" in p.label]
+        assert len(launches) == 1

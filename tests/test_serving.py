@@ -1,0 +1,111 @@
+"""Tests for the continuous-batching serving layer."""
+
+import pytest
+
+from repro.core import WSE2
+from repro.errors import ConfigurationError
+from repro.llm.config import LLAMA3_8B
+from repro.serving import ContinuousBatchingServer, Request
+
+
+@pytest.fixture(scope="module")
+def server() -> ContinuousBatchingServer:
+    return ContinuousBatchingServer(LLAMA3_8B, WSE2, max_batch=8)
+
+
+class TestRequestValidation:
+    def test_valid_request(self):
+        request = Request(1, seq_in=128, seq_out=64, arrival_s=0.5)
+        assert request.seq_out == 64
+
+    @pytest.mark.parametrize("kwargs", [
+        {"seq_in": 0, "seq_out": 1},
+        {"seq_in": 1, "seq_out": 0},
+        {"seq_in": 1, "seq_out": 1, "arrival_s": -1.0},
+    ])
+    def test_invalid_requests(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Request(1, **kwargs)
+
+
+class TestBatchedStep:
+    def test_step_grows_sublinearly(self, server):
+        t1 = server.batched_step_seconds(1, 2048)
+        t8 = server.batched_step_seconds(8, 2048)
+        assert t8 > t1
+        assert t8 < 8 * t1  # the fixed skeleton is shared
+
+    def test_throughput_scales_with_batch(self, server):
+        r1 = server.throughput_at_batch(1)
+        r8 = server.throughput_at_batch(8)
+        assert r8 > 2 * r1
+
+    def test_kv_bound_batch_positive(self, server):
+        assert server.kv_bounded_batch() >= 1
+
+    def test_single_stream_matches_table4_shape(self, server):
+        # Batch 1 must agree with the single-stream decode model.
+        single = server.system.decode_throughput(
+            LLAMA3_8B, 2048, server.decode_grid)
+        assert server.throughput_at_batch(1) == pytest.approx(single, rel=0.01)
+
+
+class TestServe:
+    def test_single_request_timeline(self, server):
+        report = server.serve([Request(0, seq_in=512, seq_out=32)])
+        stat = report.completed[0]
+        assert stat.prefill_start_s == 0.0
+        assert stat.decode_start_s > 0.0
+        assert stat.finish_s > stat.decode_start_s
+        assert report.total_tokens == 32
+
+    def test_all_requests_complete(self, server):
+        requests = [Request(i, 256, 16, arrival_s=0.001 * i) for i in range(6)]
+        report = server.serve(requests)
+        assert len(report.completed) == 6
+        assert report.total_tokens == 6 * 16
+        assert all(s.finish_s > 0 for s in report.completed)
+
+    def test_batching_beats_serial(self, server):
+        # Long decodes with short prompts: streams overlap in the batch.
+        requests = [Request(i, 64, 1024) for i in range(8)]
+        batched = server.serve(requests)
+        serial = ContinuousBatchingServer(LLAMA3_8B, WSE2, max_batch=1)
+        serial_report = serial.serve(requests)
+        assert batched.makespan_s < serial_report.makespan_s
+        assert batched.peak_batch > 1
+        assert serial_report.peak_batch == 1
+
+    def test_batch_cap_respected(self):
+        server = ContinuousBatchingServer(LLAMA3_8B, WSE2, max_batch=3)
+        report = server.serve([Request(i, 64, 1024) for i in range(9)])
+        assert report.peak_batch <= 3
+
+    def test_late_arrivals_wait(self, server):
+        report = server.serve([
+            Request(0, 256, 8, arrival_s=0.0),
+            Request(1, 256, 8, arrival_s=100.0),
+        ])
+        late = next(s for s in report.completed if s.request.request_id == 1)
+        assert late.prefill_start_s >= 100.0
+        assert report.makespan_s >= 100.0
+
+    def test_queueing_measured(self):
+        server = ContinuousBatchingServer(LLAMA3_8B, WSE2, max_batch=1)
+        report = server.serve([
+            Request(0, 4096, 8), Request(1, 4096, 8),
+        ])
+        second = next(s for s in report.completed if s.request.request_id == 1)
+        assert second.queueing_s > 0
+
+    def test_latency_stats(self, server):
+        report = server.serve([Request(i, 128, 16) for i in range(5)])
+        assert report.p99_latency_s >= report.mean_latency_s > 0
+
+    def test_empty_request_list_rejected(self, server):
+        with pytest.raises(ConfigurationError):
+            server.serve([])
+
+    def test_invalid_max_batch(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousBatchingServer(LLAMA3_8B, WSE2, max_batch=0)

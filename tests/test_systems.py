@@ -1,0 +1,156 @@
+"""Tests for the system cost models: WaferLLM, T10, Ladder (Tables 2-4)."""
+
+import pytest
+
+from repro.baselines import LadderSystem, T10System
+from repro.core import WSE2
+from repro.llm.config import LLAMA2_13B, LLAMA3_8B, QWEN2_72B
+from repro.llm.ops_schedule import (
+    decode_layer_schedule,
+    lm_head_schedule,
+    prefill_layer_schedule,
+    schedule_macs,
+)
+from repro.llm.system_base import GenerationResult
+from repro.llm.wafer_system import WaferLLMSystem
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return {
+        "waferllm": WaferLLMSystem(WSE2),
+        "t10": T10System(WSE2),
+        "ladder": LadderSystem(WSE2),
+    }
+
+
+class TestSchedules:
+    def test_prefill_macs_match_config(self):
+        seq = 2048
+        ops = prefill_layer_schedule(LLAMA3_8B, seq)
+        per_layer = schedule_macs(ops)
+        expected = LLAMA3_8B.prefill_macs(seq) / LLAMA3_8B.num_layers
+        assert per_layer == pytest.approx(expected, rel=0.01)
+
+    def test_decode_macs_match_config(self):
+        ctx = 1024
+        layer = schedule_macs(decode_layer_schedule(LLAMA3_8B, ctx))
+        head = schedule_macs(lm_head_schedule(LLAMA3_8B, 1))
+        expected = LLAMA3_8B.decode_macs_per_token(ctx)
+        assert layer * LLAMA3_8B.num_layers + head == pytest.approx(
+            expected, rel=0.01)
+
+    def test_decode_schedule_has_kv_shift(self):
+        ops = decode_layer_schedule(LLAMA3_8B, 100)
+        assert any(op.name == "kv-shift" for op in ops)
+
+    def test_prefill_uses_gemm_t_for_scores(self):
+        from repro.llm.ops_schedule import OpKind
+        ops = prefill_layer_schedule(LLAMA3_8B, 128)
+        scores = [op for op in ops if op.name == "scores"]
+        assert scores[0].kind is OpKind.GEMM_T
+
+
+class TestOrderingClaims:
+    """The paper's qualitative claims must hold at every configuration."""
+
+    @pytest.mark.parametrize("grid", [480, 600, 720])
+    def test_prefill_ordering(self, systems, grid):
+        rates = {
+            name: s.prefill_throughput(LLAMA3_8B, 4096, grid)
+            for name, s in systems.items()
+        }
+        assert rates["waferllm"] > rates["t10"] > rates["ladder"]
+
+    @pytest.mark.parametrize("grid", [420, 540, 660])
+    def test_decode_ordering(self, systems, grid):
+        rates = {
+            name: s.decode_throughput(LLAMA3_8B, 2048, grid)
+            for name, s in systems.items()
+        }
+        assert rates["waferllm"] > rates["t10"] > rates["ladder"]
+
+    def test_prefill_speedup_orders_of_magnitude(self, systems):
+        wafer = systems["waferllm"].prefill_throughput(LLAMA3_8B, 4096, 600)
+        t10 = systems["t10"].prefill_throughput(LLAMA3_8B, 4096, 600)
+        ladder = systems["ladder"].prefill_throughput(LLAMA3_8B, 4096, 600)
+        assert 50 < wafer / t10 < 500      # paper: ~160x
+        assert 200 < wafer / ladder < 2000  # paper: ~600x
+
+    def test_decode_speedup_factors(self, systems):
+        wafer = systems["waferllm"].decode_throughput(LLAMA3_8B, 2048, 420)
+        t10 = systems["t10"].decode_throughput(LLAMA3_8B, 2048, 420)
+        ladder = systems["ladder"].decode_throughput(LLAMA3_8B, 2048, 420)
+        assert 3 < wafer / t10 < 12        # paper: ~6.5x
+        assert 80 < wafer / ladder < 600   # paper: ~185x
+
+
+class TestTrends:
+    def test_waferllm_prefill_scales_up(self, systems):
+        rates = [systems["waferllm"].prefill_throughput(LLAMA3_8B, 4096, g)
+                 for g in (480, 600, 720)]
+        assert rates == sorted(rates)
+
+    def test_baseline_prefill_declines(self, systems):
+        for name in ("t10", "ladder"):
+            rates = [systems[name].prefill_throughput(LLAMA3_8B, 4096, g)
+                     for g in (480, 600, 720)]
+            assert rates == sorted(rates, reverse=True), name
+
+    def test_decode_declines_with_cores_for_all(self, systems):
+        # Table 4: decode throughput decreases as cores increase.
+        for name, system in systems.items():
+            rates = [system.decode_throughput(LLAMA3_8B, 2048, g)
+                     for g in (420, 540, 660)]
+            assert rates == sorted(rates, reverse=True), name
+
+    def test_bigger_models_slower(self, systems):
+        for system in systems.values():
+            assert system.prefill_throughput(LLAMA3_8B, 4096, 600) > \
+                system.prefill_throughput(QWEN2_72B, 4096, 600)
+            assert system.decode_throughput(LLAMA3_8B, 2048, 540) > \
+                system.decode_throughput(QWEN2_72B, 2048, 540)
+
+    def test_decode_cost_grows_with_context(self, systems):
+        wafer = systems["waferllm"]
+        short = wafer.decode_token_cost(LLAMA3_8B, 128)
+        long = wafer.decode_token_cost(LLAMA3_8B, 8192)
+        assert long.total_cycles > short.total_cycles
+
+
+class TestGeneration:
+    def test_generation_result_fields(self, systems):
+        gen = systems["waferllm"].generation(LLAMA3_8B, 2048, 128, 660, 360)
+        assert isinstance(gen, GenerationResult)
+        assert gen.total_seconds == pytest.approx(
+            gen.prefill_seconds + gen.decode_seconds)
+        assert gen.throughput_tokens_per_s == pytest.approx(
+            128 / gen.total_seconds)
+        assert gen.decode_tokens_per_s == pytest.approx(
+            128 / gen.decode_seconds)
+        assert gen.tokens_per_joule > 0
+
+    def test_longer_output_amortizes_prefill(self, systems):
+        wafer = systems["waferllm"]
+        short = wafer.generation(LLAMA3_8B, 2048, 128, 660, 360)
+        long = wafer.generation(LLAMA3_8B, 2048, 2048, 660, 360)
+        assert long.throughput_tokens_per_s > short.throughput_tokens_per_s
+
+    def test_invalid_generation_args(self, systems):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            systems["waferllm"].generation(LLAMA3_8B, 0, 10)
+
+    def test_default_grids_from_paper(self, systems):
+        wafer = systems["waferllm"]
+        assert wafer.prefill_grid(LLAMA3_8B) == 660
+        assert wafer.decode_grid(LLAMA3_8B) == 360
+        assert wafer.prefill_grid(LLAMA2_13B) == 750
+        assert wafer.decode_grid(LLAMA2_13B) == 375
+
+    def test_layer_subset_scales_linearly(self, systems):
+        full = systems["waferllm"].decode_token_cost(QWEN2_72B, 1024, 420)
+        subset = systems["waferllm"].decode_token_cost(
+            QWEN2_72B.scaled_to_layers(8), 1024, 420)
+        ratio = full.total_cycles / subset.total_cycles
+        assert ratio == pytest.approx(80 / 8, rel=0.15)

@@ -1,0 +1,83 @@
+"""Tests for tensor layouts and transitions (the paper's E_x F_y notation)."""
+
+import pytest
+
+from repro.core import WSE2
+from repro.errors import PlacementError
+from repro.llm.tensor_layout import (
+    AxisMap,
+    TensorLayout,
+    activation_decode_layout,
+    activation_prefill_layout,
+    weight_layout,
+    weight_layout_decode,
+)
+
+
+class TestLayoutBasics:
+    def test_both_dims_same_axis_rejected(self):
+        with pytest.raises(PlacementError):
+            TensorLayout(4, 4, AxisMap.PARTITION_X, AxisMap.PARTITION_X)
+
+    def test_invalid_dims(self):
+        with pytest.raises(PlacementError):
+            TensorLayout(0, 4, AxisMap.PARTITION_X, AxisMap.PARTITION_Y)
+
+    def test_tile_shape_full_partition(self):
+        layout = weight_layout(4096, 14336)
+        assert layout.tile_shape(660, 660) == (7, 22)
+
+    def test_tile_shape_with_replication(self):
+        layout = activation_decode_layout(4096)  # E_y, L replicated
+        assert layout.tile_shape(360, 360) == (12, 1)
+
+    def test_bytes_per_core(self):
+        layout = weight_layout(100, 100)
+        assert layout.bytes_per_core(10, 10) == 10 * 10 * 2
+
+    def test_replication_factor(self):
+        assert weight_layout(8, 8).replication_factor(4, 4) == 1
+        assert activation_decode_layout(8).replication_factor(4, 4) == 4
+
+    def test_total_bytes(self):
+        assert weight_layout(10, 10).total_bytes() == 200
+
+
+class TestNotation:
+    def test_prefill_activation_notation(self):
+        layout = activation_prefill_layout(4096, 4096)
+        assert layout.notation("L", "E") == "L_y E_x"
+
+    def test_decode_activation_notation(self):
+        layout = activation_decode_layout(4096)
+        assert layout.notation("E", "L") == "E_y L^x"
+
+    def test_weight_notation(self):
+        assert weight_layout(8, 8).notation("E", "F") == "E_y F_x"
+        assert weight_layout_decode(8, 8).notation("E", "F") == "E_x F_y"
+
+
+class TestTransitions:
+    def test_same_layout_cheap(self):
+        layout = weight_layout(4096, 4096)
+        cost = layout.transition_cost(layout, WSE2)
+        assert cost.total_cycles > 0  # still streams once in this model
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PlacementError):
+            weight_layout(4, 4).transition_cost(weight_layout(8, 8), WSE2)
+
+    def test_transition_much_cheaper_than_decode_token(self):
+        # Section 4.4: the prefill->decode transition "completes
+        # instantly" relative to generation.  One W_O re-placement must
+        # be far below a decode step (~0.4 ms).
+        pre = weight_layout(4096, 4096)
+        dec = weight_layout_decode(4096, 4096)
+        cost = pre.transition_cost(dec, WSE2)
+        assert cost.seconds < 1e-4
+
+    def test_bigger_tensors_cost_more(self):
+        small = weight_layout(1024, 1024)
+        big = weight_layout(8192, 8192)
+        assert big.transition_cost(weight_layout_decode(8192, 8192), WSE2).total_cycles > \
+            small.transition_cost(weight_layout_decode(1024, 1024), WSE2).total_cycles

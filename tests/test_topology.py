@@ -1,0 +1,108 @@
+"""Tests for mesh topology math."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.mesh.topology import MeshTopology, line_positions
+
+
+class TestBasics:
+    def test_num_cores(self):
+        assert MeshTopology(7, 5).num_cores == 35
+
+    def test_coords_row_major(self):
+        coords = list(MeshTopology(2, 2).coords())
+        assert coords == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology(0, 5)
+
+    def test_contains(self):
+        topo = MeshTopology(3, 3)
+        assert topo.contains((2, 2))
+        assert not topo.contains((3, 0))
+        assert not topo.contains((-1, 0))
+
+    def test_validate_raises(self):
+        with pytest.raises(PlacementError):
+            MeshTopology(3, 3).validate((0, 3))
+
+
+class TestDistances:
+    def test_hop_distance_manhattan(self):
+        topo = MeshTopology(10, 10)
+        assert topo.hop_distance((0, 0), (3, 4)) == 7
+        assert topo.hop_distance((9, 9), (0, 0)) == 18
+
+    def test_hop_distance_self(self):
+        assert MeshTopology(4, 4).hop_distance((2, 2), (2, 2)) == 0
+
+    def test_max_hops(self):
+        assert MeshTopology(10, 7).max_hops == 15
+
+    def test_max_axis_hops(self):
+        assert MeshTopology(10, 7).max_axis_hops == 9
+
+    @given(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7),
+           st.integers(0, 7))
+    def test_hop_distance_symmetric(self, x1, y1, x2, y2):
+        topo = MeshTopology(8, 8)
+        assert topo.hop_distance((x1, y1), (x2, y2)) == \
+            topo.hop_distance((x2, y2), (x1, y1))
+
+
+class TestRoutes:
+    def test_xy_route_goes_x_first(self):
+        route = MeshTopology(5, 5).xy_route((0, 0), (2, 2))
+        assert route == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+    def test_xy_route_length_matches_hops(self):
+        topo = MeshTopology(6, 6)
+        for src, dst in [((0, 0), (5, 5)), ((3, 1), (1, 4)), ((2, 2), (2, 2))]:
+            route = topo.xy_route(src, dst)
+            assert len(route) - 1 == topo.hop_distance(src, dst)
+
+    def test_xy_route_westward(self):
+        route = MeshTopology(5, 5).xy_route((3, 0), (1, 0))
+        assert route == [(3, 0), (2, 0), (1, 0)]
+
+    @given(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+           st.tuples(st.integers(0, 5), st.integers(0, 5)))
+    def test_xy_route_stays_in_mesh(self, src, dst):
+        topo = MeshTopology(6, 6)
+        for coord in topo.xy_route(src, dst):
+            assert topo.contains(coord)
+
+
+class TestLines:
+    def test_row(self):
+        assert MeshTopology(3, 2).row(1) == [(0, 1), (1, 1), (2, 1)]
+
+    def test_column(self):
+        assert MeshTopology(3, 2).column(2) == [(2, 0), (2, 1)]
+
+    def test_row_out_of_range(self):
+        with pytest.raises(PlacementError):
+            MeshTopology(3, 2).row(2)
+
+    def test_column_out_of_range(self):
+        with pytest.raises(PlacementError):
+            MeshTopology(3, 2).column(3)
+
+    def test_neighbours_interior(self):
+        assert len(MeshTopology(5, 5).neighbours((2, 2))) == 4
+
+    def test_neighbours_corner(self):
+        assert sorted(MeshTopology(5, 5).neighbours((0, 0))) == [(0, 1), (1, 0)]
+
+    def test_neighbours_edge(self):
+        assert len(MeshTopology(5, 5).neighbours((0, 2))) == 3
+
+    def test_line_positions(self):
+        assert line_positions(4) == [0, 1, 2, 3]
+
+    def test_line_positions_invalid(self):
+        with pytest.raises(ConfigurationError):
+            line_positions(0)

@@ -1,0 +1,85 @@
+"""Tests for execution traces and energy accounting."""
+
+import pytest
+
+from repro.core import WSE2
+from repro.mesh.energy import (
+    activity_energy,
+    energy_ratio,
+    wall_clock_energy,
+)
+from repro.mesh.trace import Trace
+
+
+class TestTrace:
+    def test_empty_trace_metrics(self):
+        trace = Trace()
+        assert trace.max_paths_per_core == 0
+        assert trace.critical_path_hops == 0
+        assert trace.total_steps == 0
+        assert trace.total_payload_bytes == 0
+        assert trace.total_macs == 0.0
+
+    def test_comm_aggregation(self):
+        trace = Trace()
+        trace.record_comm(0, "a", [3, 5], [10, 20], {(0, 0): {"a"}})
+        trace.record_comm(1, "b", [2], [30], {(0, 0): {"b"}, (1, 0): {"b"}})
+        assert trace.critical_path_hops == 5
+        assert trace.total_payload_bytes == 60
+        assert trace.max_paths_per_core == 2
+        assert trace.patterns() == {"a", "b"}
+
+    def test_compute_aggregation(self):
+        trace = Trace()
+        trace.record_compute(0, "mac", [10.0, 20.0, 5.0])
+        assert trace.computes[0].max_macs == 20.0
+        assert trace.total_macs == 35.0
+        assert trace.computes[0].num_cores == 3
+
+    def test_empty_compute_ignored(self):
+        trace = Trace()
+        trace.record_compute(0, "noop", [])
+        assert not trace.computes
+
+    def test_memory_high_water_mark(self):
+        trace = Trace()
+        trace.note_memory(100)
+        trace.note_memory(50)
+        assert trace.peak_memory_bytes == 100
+
+    def test_step_counting(self):
+        trace = Trace()
+        trace.record_comm(0, "a", [1], [1], {})
+        trace.record_comm(0, "b", [1], [1], {})
+        trace.record_compute(1, "c", [1.0])
+        assert trace.total_steps == 2
+
+    def test_summary_keys(self):
+        summary = Trace().summary()
+        assert {"steps", "critical_path_hops", "max_paths_per_core",
+                "total_macs", "peak_memory_bytes"} <= set(summary)
+
+
+class TestEnergy:
+    def test_wall_clock(self):
+        assert wall_clock_energy(WSE2, 2.0) == pytest.approx(30000.0)
+
+    def test_activity_breakdown(self):
+        breakdown = activity_energy(WSE2, macs=1e12, noc_bit_hops=1e12,
+                                    sram_bits=1e12)
+        assert breakdown.compute_j == pytest.approx(WSE2.mac_pj)
+        assert breakdown.noc_j == pytest.approx(WSE2.noc_pj_per_bit_per_hop)
+        assert breakdown.sram_j == pytest.approx(WSE2.sram_pj_per_bit)
+        assert breakdown.total_j == pytest.approx(
+            breakdown.compute_j + breakdown.noc_j + breakdown.sram_j)
+
+    def test_wafer_noc_cheaper_than_pcb(self):
+        # Table 1: on-wafer links ~0.1 pJ/bit vs ~10 pJ/bit over PCB.
+        assert WSE2.noc_pj_per_bit_per_hop < 1.0
+
+    def test_energy_ratio(self):
+        assert energy_ratio(20.0, 2.0) == pytest.approx(10.0)
+
+    def test_energy_ratio_requires_positive(self):
+        with pytest.raises(ValueError):
+            energy_ratio(1.0, 0.0)

@@ -1,0 +1,82 @@
+"""Property tests across the mesh machine and kernel integration seams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.device_presets import TINY_MESH
+from repro.gemm import MeshGEMM, MeshGEMMTransposed
+from repro.gemv import MeshGEMV
+from repro.mesh.fabric import Flow
+from repro.mesh.machine import MeshMachine
+
+
+class TestMachineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(side=st.integers(2, 8), rows=st.integers(1, 3),
+           cols=st.integers(1, 3), seed=st.integers(0, 200))
+    def test_scatter_gather_identity(self, side, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        machine = MeshMachine(TINY_MESH.submesh(side, side))
+        matrix = rng.standard_normal((side * rows, side * cols))
+        machine.scatter_matrix("m", matrix, side, side)
+        assert np.array_equal(machine.gather_matrix("m", side, side), matrix)
+
+    @settings(max_examples=25, deadline=None)
+    @given(side=st.integers(2, 6), seed=st.integers(0, 200))
+    def test_permutation_conserves_multiset(self, side, seed):
+        rng = np.random.default_rng(seed)
+        machine = MeshMachine(TINY_MESH.submesh(side, side))
+        values = rng.permutation(side * side).astype(float)
+        coords = list(machine.topology.coords())
+        for coord, value in zip(coords, values):
+            machine.place("t", coord, np.array([value]))
+        perm = rng.permutation(len(coords))
+        mapping = {coords[i]: coords[perm[i]] for i in range(len(coords))}
+        machine.shift_named("p", mapping, "t", "t")
+        after = sorted(
+            float(machine.core(c).load("t")[0]) for c in coords
+        )
+        assert after == sorted(values)
+
+    @settings(max_examples=20, deadline=None)
+    @given(side=st.integers(2, 6))
+    def test_trace_hops_match_topology(self, side):
+        machine = MeshMachine(TINY_MESH.submesh(side, side))
+        machine.place("t", (0, 0), np.zeros(2))
+        dst = (side - 1, side - 1)
+        machine.communicate("p", [Flow.unicast((0, 0), dst, "t", "t")])
+        assert machine.trace.comms[-1].max_hops == 2 * (side - 1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(side=st.integers(2, 5), seed=st.integers(0, 100))
+    def test_gemm_then_gemv_composition(self, side, seed):
+        # Chained distributed kernels compose exactly like dense algebra.
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-3, 4, size=(side, side)).astype(float)
+        b = rng.integers(-3, 4, size=(side, side)).astype(float)
+        x = rng.integers(-3, 4, size=side).astype(float)
+        m1 = MeshMachine(TINY_MESH.submesh(side, side))
+        ab = MeshGEMM.run(m1, a, b)
+        m2 = MeshMachine(TINY_MESH.submesh(side, side))
+        got = MeshGEMV.run(m2, x, ab)
+        assert np.array_equal(got, x @ (a @ b))
+
+    @settings(max_examples=15, deadline=None)
+    @given(side=st.integers(2, 5), seed=st.integers(0, 100))
+    def test_gemm_t_equals_gemm_of_transpose(self, side, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-3, 4, size=(side, side)).astype(float)
+        b = rng.integers(-3, 4, size=(side, side)).astype(float)
+        m1 = MeshMachine(TINY_MESH.submesh(side, side))
+        via_t = MeshGEMMTransposed.run(m1, a, b)
+        m2 = MeshMachine(TINY_MESH.submesh(side, side))
+        via_gemm = MeshGEMM.run(m2, a, np.ascontiguousarray(b.T))
+        assert np.array_equal(via_t, via_gemm)
+
+    def test_memory_returns_to_baseline_after_free(self):
+        machine = MeshMachine(TINY_MESH.submesh(4, 4))
+        machine.scatter_matrix("m", np.ones((8, 8)), 4, 4)
+        machine.free("m")
+        assert all(machine.resident_bytes(c) == 0
+                   for c in machine.topology.coords())
