@@ -271,3 +271,60 @@ def run_table8(device: PLMRDevice = WSE2) -> List[CellResult]:
         results.append(CellResult(f"{model_name} energy_ratio",
                                   ratio, published["energy_ratio"]))
     return results
+
+
+# ---------------------------------------------------------------------------
+# Serving extension: chunked-prefill vs exclusive-prefill on one trace
+# ---------------------------------------------------------------------------
+
+#: The canonical serving trace (seeded, so every consumer — benchmark,
+#: EXPERIMENTS.md, CLI sanity runs — compares on identical requests).
+SERVING_TRACE_SPEC = dict(
+    num_requests=32,
+    seed=1234,
+    mean_interarrival_s=0.03,
+    seq_in_range=(256, 2048),
+    seq_out_range=(32, 192),
+    ttft_slo_s=1.0,
+    tpot_slo_s=0.05,
+)
+
+SERVING_CHUNK_TOKENS = 256
+SERVING_MAX_BATCH = 16
+
+
+def run_serving(device: PLMRDevice = WSE2):
+    """Chunked vs exclusive prefill on the canonical trace.
+
+    Returns ``{"chunked": ServingMetrics, "exclusive": ServingMetrics}``
+    for LLaMA3-8B on the paper's decode region.  No paper counterpart —
+    the paper serves single streams; this quantifies the Section 8
+    concurrent-stream roadmap with MOCAP-style chunked prefill.
+    """
+    from repro.serving import compare_modes, synthetic_trace
+
+    trace = synthetic_trace(**SERVING_TRACE_SPEC)
+    return compare_modes(
+        get_model("llama3-8b"), device, trace,
+        chunk_tokens=SERVING_CHUNK_TOKENS, max_batch=SERVING_MAX_BATCH,
+    )
+
+
+def run_serving_cells(device: PLMRDevice = WSE2) -> List[CellResult]:
+    """The serving comparison flattened into report cells (no paper
+    column; the claim under test is chunked > exclusive on goodput and
+    chunked < exclusive on p99 TTFT)."""
+    results: List[CellResult] = []
+    for mode, metrics in run_serving(device).items():
+        results.extend([
+            CellResult(f"{mode}: decode goodput (tok/s)",
+                       metrics.goodput_tokens_per_s),
+            CellResult(f"{mode}: throughput (tok/s)",
+                       metrics.throughput_tokens_per_s),
+            CellResult(f"{mode}: p99 TTFT (s)", metrics.p99_ttft_s),
+            CellResult(f"{mode}: p50 TTFT (s)", metrics.p50_ttft_s),
+            CellResult(f"{mode}: p99 TPOT (ms)", metrics.p99_tpot_s * 1e3),
+            CellResult(f"{mode}: SLO attainment", metrics.slo_attainment),
+            CellResult(f"{mode}: decode stall (s)", metrics.decode_stall_s),
+        ])
+    return results

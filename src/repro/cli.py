@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.bench import experiments
 from repro.bench.reporting import Comparison, comparison_table, format_table
 from repro.core import PRESETS, WSE2, compliance_table, get_device
+from repro.errors import ReproError
 from repro.gemm import GEMM_KERNELS
 from repro.gemm.base import GemmShape
 from repro.gemv import GEMV_KERNELS
@@ -29,9 +30,15 @@ from repro.llm.autotune import compare_with_paper_configs
 from repro.llm.config import MODELS, get_model
 from repro.llm.projections import resident_decode_projection, width_study
 from repro.llm.quantize import quantized_config
+from repro.mesh.faults import FaultInjector
 from repro.runtime.memory_audit import audit_model, required_layer_subset
 from repro.llm.wafer_system import WaferLLMSystem
-from repro.serving import ContinuousBatchingServer, Request
+from repro.serving import (
+    ContinuousBatchingServer,
+    Request,
+    ServingMetrics,
+    WaferServer,
+)
 
 TABLE_RUNNERS = {
     2: experiments.run_table2,
@@ -219,26 +226,71 @@ def cmd_project(args) -> int:
     return 0
 
 
+def _serving_rows(metrics: ServingMetrics) -> List[List[str]]:
+    return [
+        ["submitted", str(metrics.submitted)],
+        ["rejected (admission)", str(len(metrics.rejected))],
+        ["finished", str(metrics.finished)],
+        ["peak batch", str(metrics.peak_batch)],
+        ["peak queue depth", str(metrics.peak_queue_depth)],
+        ["peak KV occupancy",
+         f"{metrics.peak_kv_tokens:,} / {metrics.kv_capacity_tokens:,} tok "
+         f"({metrics.peak_kv_fraction:.0%})"],
+        ["makespan", f"{metrics.makespan_s:.3f} s"],
+        ["throughput", f"{metrics.throughput_tokens_per_s:,.0f} tok/s"],
+        ["goodput (SLO-met)", f"{metrics.goodput_tokens_per_s:,.0f} tok/s"],
+        ["SLO attainment", f"{metrics.slo_attainment:.0%}"],
+        ["TTFT p50 / p99",
+         f"{metrics.p50_ttft_s:.3f} / {metrics.p99_ttft_s:.3f} s"],
+        ["TPOT mean / p99",
+         f"{metrics.mean_tpot_s * 1e3:.2f} / {metrics.p99_tpot_s * 1e3:.2f} ms"],
+        ["p99 latency", f"{metrics.p99_latency_s:.3f} s"],
+        ["decode stall time", f"{metrics.decode_stall_s:.3f} s"],
+        ["preemptions", str(metrics.preemptions)],
+        ["fault retries", str(metrics.retries)],
+    ]
+
+
+def _serve_trace(args) -> List[Request]:
+    return [
+        Request(i, seq_in=args.seq_in, seq_out=args.seq_out,
+                arrival_s=i * args.interval, priority=i % args.priorities,
+                ttft_slo_s=args.ttft_slo, tpot_slo_s=args.tpot_slo)
+        for i in range(args.requests)
+    ]
+
+
 def cmd_serve(args) -> int:
     device = get_device(args.device)
     model = get_model(args.model)
-    server = ContinuousBatchingServer(model, device, max_batch=args.batch)
-    requests = [
-        Request(i, seq_in=args.seq_in, seq_out=args.seq_out,
-                arrival_s=i * args.interval)
-        for i in range(args.requests)
-    ]
-    report = server.serve(requests)
-    rows = [
-        ["requests", str(args.requests)],
-        ["peak batch", str(report.peak_batch)],
-        ["makespan", f"{report.makespan_s:.2f} s"],
-        ["throughput", f"{report.throughput_tokens_per_s:,.0f} tok/s"],
-        ["mean latency", f"{report.mean_latency_s:.2f} s"],
-        ["p99 latency", f"{report.p99_latency_s:.2f} s"],
-    ]
-    print(format_table(f"serving {model.name} on {device.name}",
-                       ["metric", "value"], rows))
+    requests = _serve_trace(args)
+    if args.mode == "legacy":
+        server = ContinuousBatchingServer(model, device, max_batch=args.batch)
+        report = server.serve(requests)
+        rows = [
+            ["requests", str(args.requests)],
+            ["peak batch", str(report.peak_batch)],
+            ["makespan", f"{report.makespan_s:.2f} s"],
+            ["throughput", f"{report.throughput_tokens_per_s:,.0f} tok/s"],
+            ["mean latency", f"{report.mean_latency_s:.2f} s"],
+            ["p99 latency", f"{report.p99_latency_s:.2f} s"],
+        ]
+        print(format_table(f"serving {model.name} on {device.name} (legacy)",
+                           ["metric", "value"], rows))
+        return 0
+
+    modes = ("chunked", "exclusive") if args.compare else (args.mode,)
+    for mode in modes:
+        server = WaferServer(
+            model, device, mode=mode, chunk_tokens=args.chunk,
+            max_batch=args.batch,
+            fault_injector=FaultInjector(args.fault_rate, seed=args.seed),
+        )
+        metrics = server.serve(requests)
+        print(format_table(
+            f"serving {model.name} on {device.name} "
+            f"({mode} prefill, chunk={args.chunk})",
+            ["metric", "value"], _serving_rows(metrics)))
     return 0
 
 
@@ -303,11 +355,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve", help="simulate multi-request serving")
     p.add_argument("--model", default="llama3-8b")
     p.add_argument("--device", default=WSE2.name)
+    p.add_argument("--mode", default="chunked",
+                   choices=["chunked", "exclusive", "legacy"])
     p.add_argument("--requests", type=int, default=8)
     p.add_argument("--batch", type=int, default=8)
     p.add_argument("--seq-in", type=int, default=1024)
     p.add_argument("--seq-out", type=int, default=256)
     p.add_argument("--interval", type=float, default=0.05)
+    p.add_argument("--chunk", type=int, default=256,
+                   help="prefill chunk size in tokens")
+    p.add_argument("--priorities", type=int, default=2,
+                   help="number of priority classes to cycle through")
+    p.add_argument("--ttft-slo", type=float, default=None,
+                   help="per-request TTFT SLO in seconds")
+    p.add_argument("--tpot-slo", type=float, default=None,
+                   help="per-request TPOT SLO in seconds")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="per-step failure probability")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--compare", action="store_true",
+                   help="run chunked and exclusive on the same trace")
     p.set_defaults(func=cmd_serve)
     return parser
 
@@ -319,5 +386,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except KeyError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2

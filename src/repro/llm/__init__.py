@@ -35,10 +35,12 @@ from repro.llm.tensor_layout import (
 from repro.llm.kvcache import (
     ConcatKVCache,
     KVCacheGeometry,
+    KVTokenLedger,
     ShiftKVCache,
     capacity_geometry,
     kv_budget_per_core,
     measure_max_tokens,
+    region_token_capacity,
 )
 from repro.llm.attention import (
     HeadGroup,
@@ -110,6 +112,8 @@ __all__ = [
     "capacity_geometry",
     "kv_budget_per_core",
     "measure_max_tokens",
+    "region_token_capacity",
+    "KVTokenLedger",
     "HeadGroup",
     "head_groups",
     "kv_cache_ratio",

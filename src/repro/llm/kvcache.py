@@ -238,6 +238,83 @@ def capacity_geometry(
     )
 
 
+def region_token_capacity(
+    model: ModelConfig,
+    grid: int,
+    device_core_memory: int,
+    total_fabric_cores: int,
+) -> int:
+    """Total KV tokens a ``grid x grid`` decode region can hold.
+
+    This is the shift-managed capacity — every row's budget counts —
+    and the hard M-property ceiling the serving layer's admission
+    control reserves against.  Returns 0 when the per-core budget
+    cannot hold even one token's K/V slice.
+    """
+    geometry = capacity_geometry(
+        model, grid, device_core_memory, total_fabric_cores
+    )
+    return geometry.tokens_per_row * geometry.grid_height
+
+
+class KVTokenLedger:
+    """Token-granular reservation ledger for one decode region's KV space.
+
+    The serving scheduler reserves a request's whole KV footprint
+    (prompt + generation budget) when its prefill starts and releases it
+    when the request finishes, so concurrent streams can never overrun
+    the region budget mid-flight — the failure mode Table 5 measures.
+    """
+
+    def __init__(self, capacity_tokens: int):
+        if capacity_tokens < 0:
+            raise ConfigurationError("capacity must be non-negative")
+        self.capacity_tokens = capacity_tokens
+        self._reserved: dict = {}
+
+    @property
+    def reserved_tokens(self) -> int:
+        """Tokens currently reserved across all holders."""
+        return sum(self._reserved.values())
+
+    @property
+    def free_tokens(self) -> int:
+        """Tokens still available for new reservations."""
+        return self.capacity_tokens - self.reserved_tokens
+
+    def can_reserve(self, tokens: int) -> bool:
+        """Whether ``tokens`` more would still fit (exact fill allowed)."""
+        return 0 < tokens <= self.free_tokens
+
+    def reserve(self, holder: int, tokens: int) -> None:
+        """Reserve ``tokens`` for ``holder``; raises when it cannot fit.
+
+        Raises
+        ------
+        CapacityExceeded
+            When the reservation would overrun the region budget.
+        ConfigurationError
+            On a non-positive reservation or a duplicate holder.
+        """
+        if tokens < 1:
+            raise ConfigurationError("reservation must be positive")
+        if holder in self._reserved:
+            raise ConfigurationError(f"holder {holder} already has KV")
+        if tokens > self.free_tokens:
+            raise CapacityExceeded(
+                self.reserved_tokens,
+                f"reserving {tokens} tokens would exceed the "
+                f"{self.capacity_tokens}-token region budget",
+            )
+        self._reserved[holder] = tokens
+
+    def release(self, holder: int) -> int:
+        """Release a holder's reservation; returns the freed tokens."""
+        if holder not in self._reserved:
+            raise ConfigurationError(f"holder {holder} has no reservation")
+        return self._reserved.pop(holder)
+
+
 def measure_max_tokens(cache) -> int:
     """Append placeholder tokens until the cache refuses; returns the count.
 

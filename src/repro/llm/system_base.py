@@ -154,6 +154,50 @@ class SystemModel:
         )
         return layer.scaled(model.num_layers) + head
 
+    def chunked_prefill_cost(
+        self, model: ModelConfig, chunk_len: int, grid: Optional[int] = None
+    ) -> KernelCost:
+        """Cost of prefilling one ``chunk_len``-token chunk with weights
+        resident (no LM head — only the final chunk feeds the head, and
+        in the serving model the first token comes out of the first
+        decode step).
+
+        Chunked prefill runs *in the decode regions*: the chunk is small
+        enough that its activations fit beside the resident decode-layout
+        weights, so the pass is priced in ``decode`` mode — it does not
+        pay the prefill corridor's weight streaming.  That residency is
+        the memory-orchestration lever (MOCAP) that makes chunked prefill
+        profitable on a wafer.
+        """
+        if chunk_len < 1:
+            raise ConfigurationError("chunk_len must be positive")
+        if grid is None:
+            grid = self.decode_grid(model)
+        layer = self._schedule_cost(
+            f"{self.name}-prefill-chunk",
+            prefill_layer_schedule(model, chunk_len),
+            grid, "decode", model,
+        )
+        chunked = layer.scaled(model.num_layers)
+        # A chunk can always be executed token-by-token through the
+        # decode path instead (same resident weights, GEMV-shaped), so
+        # that pricing bounds the chunk cost from above.  Without it the
+        # GEMM schedule's shrinking sub-grids make tiny chunks absurdly
+        # expensive — a 1-token chunk must cost one decode step, not a
+        # degenerate 1-wide GEMM pass.
+        fallback = self.decode_token_cost(model, chunk_len, grid).scaled(
+            chunk_len
+        )
+        if fallback.total_cycles < chunked.total_cycles:
+            return KernelCost(
+                name=chunked.name,
+                device=chunked.device,
+                compute_cycles=fallback.compute_cycles,
+                comm_cycles=fallback.comm_cycles,
+                total_cycles=fallback.total_cycles,
+            )
+        return chunked
+
     # -- headline metrics ---------------------------------------------------
     def prefill_throughput(
         self, model: ModelConfig, seq_len: int, grid: Optional[int] = None

@@ -28,10 +28,11 @@ paper describes (Sections 7.5 and 8):
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.collectives.plans import ktree_reduce_plan, root_broadcast_plan
 from repro.core.plmr import PLMRDevice
+from repro.errors import ConfigurationError
 from repro.gemm.base import GemmShape
 from repro.gemm.gemm_t import MeshGEMMTransposed
 from repro.gemm.meshgemm import MeshGEMM
@@ -40,7 +41,7 @@ from repro.gemv.meshgemv import MeshGEMV
 from repro.llm.config import ModelConfig
 from repro.llm.ops_schedule import LayerOp, OpKind
 from repro.llm.system_base import SystemModel
-from repro.mesh.cost_model import CommPhase, ComputePhase, Phase
+from repro.mesh.cost_model import CommPhase, ComputePhase, KernelCost, Phase
 
 #: Cycles charged per distributed-op dispatch (host runtime + router
 #: reconfiguration).  Single global constant; see module docstring.
@@ -72,6 +73,13 @@ DECODE_GRIDS: Dict[str, int] = {
     "qwen2-72b": 420,
 }
 
+#: Largest prefill chunk whose activations stay resident beside the
+#: decode-layout weights in a decode region.  Beyond this the chunk
+#: would spill into the staging corridor and pay the weight-streaming
+#: path like a full prefill pass, defeating the piggyback; the serving
+#: layer validates chunk sizes against it.
+MAX_RESIDENT_CHUNK_TOKENS = 1024
+
 
 class WaferLLMSystem(SystemModel):
     """The paper's system, priced through its own kernels."""
@@ -87,6 +95,61 @@ class WaferLLMSystem(SystemModel):
         """Paper's decode core configuration (falls back to 1/2 fabric)."""
         side = min(self.device.mesh_width, self.device.mesh_height)
         return min(side, DECODE_GRIDS.get(model.name.split("[")[0], side // 2))
+
+    # ------------------------------------------------------------------
+    def fused_step_cost(
+        self,
+        model: ModelConfig,
+        context_len: int,
+        decode_batch: int,
+        chunk_tokens: int = 0,
+        grid: Optional[int] = None,
+    ) -> KernelCost:
+        """One continuous-batching step: batched decode with an optional
+        piggybacked prefill chunk.
+
+        Batched decode pays the single-token step's launch/communication
+        *skeleton* once (weights are stationary, routes stay programmed)
+        plus per-stream arithmetic: ``t(m) = t_fixed + m * t_compute``.
+        A prefill chunk fused into the step rides that same skeleton —
+        its kernels are the same distributed ops over the same resident
+        weights — so only its arithmetic is added.  A chunk running with
+        no live decode streams pays its own full cost.
+        """
+        if decode_batch < 0 or chunk_tokens < 0:
+            raise ConfigurationError("batch and chunk must be non-negative")
+        if decode_batch == 0 and chunk_tokens == 0:
+            raise ConfigurationError("a step needs decode streams or a chunk")
+        if chunk_tokens > MAX_RESIDENT_CHUNK_TOKENS:
+            raise ConfigurationError(
+                f"chunk of {chunk_tokens} tokens exceeds the resident limit "
+                f"({MAX_RESIDENT_CHUNK_TOKENS}); larger chunks spill to the "
+                f"streaming path"
+            )
+        if grid is None:
+            grid = self.decode_grid(model)
+        compute = comm = total = 0.0
+        if decode_batch > 0:
+            decode = self.decode_token_cost(model, context_len, grid)
+            skeleton = decode.total_cycles - decode.compute_cycles
+            compute = decode_batch * decode.compute_cycles
+            comm = decode.comm_cycles
+            total = skeleton + compute
+        if chunk_tokens > 0:
+            chunk = self.chunked_prefill_cost(model, chunk_tokens, grid)
+            compute += chunk.compute_cycles
+            if decode_batch > 0:
+                total += chunk.compute_cycles
+            else:
+                comm += chunk.comm_cycles
+                total += chunk.total_cycles
+        return KernelCost(
+            name=f"{self.name}-fused-step",
+            device=self.device,
+            compute_cycles=compute,
+            comm_cycles=comm,
+            total_cycles=total,
+        )
 
     # ------------------------------------------------------------------
     def _subgrid(self, grid: int, instances: int, *dims: int) -> int:

@@ -21,6 +21,7 @@ from repro.mesh.netsim import (
     phase_makespan,
     simulate_flows,
 )
+from repro.mesh.faults import FaultInjector
 from repro.mesh.energy import (
     EnergyBreakdown,
     activity_energy,
@@ -44,6 +45,7 @@ __all__ = [
     "LoopPhase",
     "KernelCost",
     "estimate",
+    "FaultInjector",
     "EnergyBreakdown",
     "activity_energy",
     "energy_ratio",

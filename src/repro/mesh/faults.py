@@ -1,0 +1,64 @@
+"""Fault injection for mesh execution steps.
+
+Wafer-scale fabrics route around defective cores at configuration time,
+but a *runtime* upset (router CRC error, link retrain, a core dropping a
+wavelet) kills the distributed step in flight: every core of the region
+is mid-kernel with no partial result worth keeping, so the runtime
+re-launches the step.  :class:`FaultInjector` models that failure
+process as a seeded per-step Bernoulli trial — deterministic for tests,
+tunable for experiments — and hands schedulers the retry arithmetic:
+exponential backoff with a cap, mirroring how the host runtime paces
+re-launches while the fabric recovers.
+
+The serving layer consumes this: a killed step costs its full duration
+plus the backoff penalty and commits nothing, which is precisely why
+chunked prefill beats exclusive prefill under faults — a retry loses one
+chunk, not a whole prompt's prefill pass.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+
+class FaultInjector:
+    """Seeded Bernoulli step-killer with exponential-backoff pacing."""
+
+    def __init__(
+        self,
+        failure_rate: float = 0.0,
+        seed: int = 0,
+        base_backoff_s: float = 1e-4,
+        max_backoff_s: float = 1e-2,
+    ):
+        if not 0.0 <= failure_rate < 1.0:
+            raise ConfigurationError("failure_rate must be in [0, 1)")
+        if base_backoff_s < 0 or max_backoff_s < base_backoff_s:
+            raise ConfigurationError(
+                "backoff bounds must satisfy 0 <= base <= max"
+            )
+        self.failure_rate = failure_rate
+        self.base_backoff_s = base_backoff_s
+        self.max_backoff_s = max_backoff_s
+        self._rng = random.Random(seed)
+        self.steps_attempted = 0
+        self.steps_killed = 0
+
+    def step_fails(self) -> bool:
+        """Draw one step's fate; records the attempt."""
+        self.steps_attempted += 1
+        if self.failure_rate <= 0.0:
+            return False
+        failed = self._rng.random() < self.failure_rate
+        if failed:
+            self.steps_killed += 1
+        return failed
+
+    def backoff_s(self, consecutive_failures: int) -> float:
+        """Pause before the ``consecutive_failures``-th retry (1-based)."""
+        if consecutive_failures < 1:
+            raise ConfigurationError("consecutive_failures must be >= 1")
+        pause = self.base_backoff_s * (2.0 ** (consecutive_failures - 1))
+        return min(pause, self.max_backoff_s)

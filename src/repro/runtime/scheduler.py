@@ -92,6 +92,21 @@ class PipelineSchedule:
         """Idle fraction of stage-cycles (1 - utilization)."""
         return 1.0 - self.utilization(concurrent_streams)
 
+    def streams_for_utilization(self, target: float) -> int:
+        """Concurrent streams needed to reach ``target`` utilization.
+
+        Inverts the fill/drain relation ``u = m / (s + m - 1)``:
+        ``m = u * (s - 1) / (1 - u)``, rounded up.  The serving layer
+        uses this to size its decode batch so the pipeline's bubbles
+        are actually filled rather than guessed at.
+        """
+        if not 0.0 < target < 1.0:
+            raise ConfigurationError("target utilization must be in (0, 1)")
+        s = self.num_stages
+        if s == 1:
+            return 1
+        return max(1, math.ceil(target * (s - 1) / (1.0 - target)))
+
 
 def decode_speedup_if_resident(
     model: ModelConfig, device: PLMRDevice, region_side: int

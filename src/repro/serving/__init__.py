@@ -1,15 +1,35 @@
-"""Multi-request serving on the simulated wafer (an extension layer)."""
+"""Multi-request serving on the simulated wafer.
 
-from repro.serving.scheduler import (
-    ContinuousBatchingServer,
-    Request,
-    RequestStats,
-    ServingReport,
+The primary serving model is :class:`WaferServer` — chunked-prefill
+continuous batching on one decode region with SLO-aware admission,
+priority preemption, and fault retry (see :mod:`repro.serving.chunked`).
+:class:`ContinuousBatchingServer` is the legacy dual-region simulator
+kept as a reference point.
+"""
+
+from repro.serving.admission import (
+    AdmissionDecision,
+    SLOAdmission,
+    backlog_tokens,
 )
+from repro.serving.chunked import WaferServer, compare_modes
+from repro.serving.metrics import ServingMetrics, StepEvent, percentile
+from repro.serving.request import Request, RequestStats
+from repro.serving.scheduler import ContinuousBatchingServer, ServingReport
+from repro.serving.trace import synthetic_trace
 
 __all__ = [
     "Request",
     "RequestStats",
     "ServingReport",
+    "ServingMetrics",
+    "StepEvent",
+    "percentile",
     "ContinuousBatchingServer",
+    "WaferServer",
+    "compare_modes",
+    "AdmissionDecision",
+    "SLOAdmission",
+    "backlog_tokens",
+    "synthetic_trace",
 ]

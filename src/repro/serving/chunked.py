@@ -1,0 +1,416 @@
+"""Chunked-prefill continuous batching on one wafer decode region.
+
+The paper's Section 8 roadmap expects concurrent streams to fill the
+pipeline bubbles; MOCAP shows the lever on wafer-scale hardware is
+*memory-orchestrated chunked prefill*.  This scheduler implements it
+over the calibrated :class:`WaferLLMSystem` costs:
+
+* **Chunked mode** (the system) — prompts are split into fixed-size
+  chunks that ride the batched decode step's launch/communication
+  skeleton (:meth:`WaferLLMSystem.fused_step_cost`).  Decode never
+  stalls; each step advances every live stream one token *and* one
+  queued prompt by one chunk.  Weights stay resident, so chunks skip the
+  prefill corridor's weight streaming.
+* **Exclusive mode** (the baseline) — the vLLM-style alternative on the
+  same region: a pending prompt's prefill runs as one exclusive block
+  (prefill-mode cost, weight streaming included) while every decode
+  stream stalls.  Same admission, same KV ledger, same trace — the
+  benchmark compares the two modes and nothing else.
+
+Scheduling policy, in priority order at every step boundary:
+
+1. prefilled streams join the decode batch while it has room;
+2. the highest-priority waiting prompt (deadline-ordered within a
+   priority class, SLO-blown prompts demoted behind on-time ones) owns
+   the prefill slot, reserving its full KV footprint first;
+3. a running prefill is *preempted* at a chunk boundary when a strictly
+   higher-priority prompt waits, or when it has blown its own TTFT
+   deadline while an on-time prompt waits (over-budget preemption) —
+   progress and KV reservation survive preemption;
+4. if the fault injector kills the step, its time plus an exponential
+   backoff elapses and nothing commits (retry-with-backoff); a chunked
+   retry loses one chunk, an exclusive retry loses the whole block.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.plmr import PLMRDevice
+from repro.errors import ConfigurationError, SimulationError
+from repro.llm.config import ModelConfig
+from repro.llm.kvcache import KVTokenLedger, region_token_capacity
+from repro.llm.wafer_system import MAX_RESIDENT_CHUNK_TOKENS, WaferLLMSystem
+from repro.mesh.faults import FaultInjector
+from repro.serving.admission import SLOAdmission, backlog_tokens
+from repro.serving.metrics import ServingMetrics, StepEvent
+from repro.serving.request import Request, RequestStats
+
+#: Context-length bucket for the step-cost memo: costs are affine in
+#: context, so evaluating at the bucket ceiling is a tight conservative
+#: rounding that keeps the cache small.
+CONTEXT_BUCKET_TOKENS = 128
+
+#: Consecutive-failure ceiling: a step that cannot commit after this
+#: many retries indicates a mis-configured failure process, not noise.
+MAX_CONSECUTIVE_RETRIES = 64
+
+
+class _Job:
+    """Mutable serving state of one admitted request."""
+
+    __slots__ = ("request", "stats", "prefilled", "generated", "kv_held")
+
+    def __init__(self, request: Request, stats: RequestStats):
+        self.request = request
+        self.stats = stats
+        self.prefilled = 0
+        self.generated = 0
+        self.kv_held = False
+
+    @property
+    def prefill_remaining(self) -> int:
+        return self.request.seq_in - self.prefilled
+
+    @property
+    def context(self) -> int:
+        """Live context length (prompt prefilled so far + generated)."""
+        return self.prefilled + self.generated
+
+    def over_budget(self, now_s: float) -> bool:
+        """Whether this prompt has already blown its TTFT deadline."""
+        return now_s > self.request.ttft_deadline_s
+
+
+class WaferServer:
+    """Continuous-batching server over one decode region.
+
+    ``mode`` selects chunked-prefill interleaving (``"chunked"``) or the
+    exclusive-prefill baseline (``"exclusive"``).
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        device: PLMRDevice,
+        mode: str = "chunked",
+        chunk_tokens: int = 256,
+        max_batch: Optional[int] = None,
+        grid: Optional[int] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        default_context_len: int = 4096,
+    ):
+        if mode not in ("chunked", "exclusive"):
+            raise ConfigurationError(f"unknown serving mode: {mode!r}")
+        if not 1 <= chunk_tokens <= MAX_RESIDENT_CHUNK_TOKENS:
+            raise ConfigurationError(
+                f"chunk_tokens must be in 1..{MAX_RESIDENT_CHUNK_TOKENS}"
+            )
+        self.model = model
+        self.device = device
+        self.mode = mode
+        self.chunk_tokens = chunk_tokens
+        self.system = WaferLLMSystem(device)
+        self.grid = grid or self.system.decode_grid(model)
+        self.kv_capacity_tokens = region_token_capacity(
+            model, self.grid, device.core_memory_bytes, device.num_cores
+        )
+        if max_batch is None:
+            max_batch = self.kv_bounded_batch(default_context_len)
+        if max_batch < 1:
+            raise ConfigurationError(
+                f"KV region ({self.kv_capacity_tokens} tokens) cannot hold "
+                f"one {default_context_len}-token stream; pass max_batch "
+                f"explicitly"
+            )
+        self.max_batch = max_batch
+        self.faults = fault_injector or FaultInjector(0.0)
+        chunk_cost = self.system.chunked_prefill_cost(
+            model, chunk_tokens, self.grid
+        )
+        optimistic = self.device.cycles_to_seconds(
+            chunk_cost.compute_cycles
+        ) / chunk_tokens
+        self.admission = SLOAdmission(self.kv_capacity_tokens, optimistic)
+        self._step_cache: Dict[Tuple[int, int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def kv_bounded_batch(self, context_len: int = 4096) -> int:
+        """Streams of ``context_len`` KV tokens the region budget holds.
+
+        Returns the true count — 0 when not even one stream fits — so
+        callers see the infeasible case instead of a silently clamped 1.
+        """
+        if context_len < 1:
+            raise ConfigurationError("context_len must be positive")
+        return self.kv_capacity_tokens // context_len
+
+    def fused_step_seconds(
+        self, batch: int, mean_context: int, chunk: int
+    ) -> float:
+        """One step's wall-clock time, memoized on bucketed context."""
+        bucket = max(
+            1,
+            math.ceil(max(1, mean_context) / CONTEXT_BUCKET_TOKENS)
+            * CONTEXT_BUCKET_TOKENS,
+        )
+        key = (batch, bucket, chunk)
+        cached = self._step_cache.get(key)
+        if cached is None:
+            cached = self.system.fused_step_cost(
+                self.model, bucket, batch, chunk, self.grid
+            ).seconds
+            self._step_cache[key] = cached
+        return cached
+
+    def exclusive_prefill_seconds(self, seq_in: int) -> float:
+        """Whole-prompt prefill block on this region (prefill mode)."""
+        return self.system.prefill_cost(self.model, seq_in, self.grid).seconds
+
+    # ------------------------------------------------------------------
+    def _select_key(self, now_s: float):
+        def key(job: _Job):
+            return (
+                job.over_budget(now_s),
+                -job.request.priority,
+                job.request.ttft_deadline_s,
+                job.request.arrival_s,
+                job.request.request_id,
+            )
+        return key
+
+    def _pick_prefill(
+        self, waiting: List[_Job], ledger: KVTokenLedger, now_s: float
+    ) -> Optional[_Job]:
+        """Best startable waiting job: KV already held or reservable."""
+        for job in sorted(waiting, key=self._select_key(now_s)):
+            if job.kv_held or ledger.can_reserve(job.request.kv_tokens):
+                return job
+        return None
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: List[Request]) -> ServingMetrics:
+        """Simulate serving the request list to completion."""
+        if not requests:
+            raise ConfigurationError("no requests to serve")
+        if len({r.request_id for r in requests}) != len(requests):
+            raise ConfigurationError("request ids must be unique")
+        stats = {r.request_id: RequestStats(request=r) for r in requests}
+        pending: Deque[Request] = deque(
+            sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        )
+        waiting: List[_Job] = []
+        current: Optional[_Job] = None
+        decode_ready: Deque[_Job] = deque()
+        decoding: Dict[int, _Job] = {}
+        ledger = KVTokenLedger(self.kv_capacity_tokens)
+        rejected: List[Request] = []
+        events: List[StepEvent] = []
+        now = 0.0
+        total_tokens = 0
+        peak_batch = peak_kv = peak_queue = 0
+        retries = preemptions = 0
+        consecutive_failures = 0
+
+        def admit_arrivals() -> None:
+            while pending and pending[0].arrival_s <= now:
+                request = pending.popleft()
+                backlog = backlog_tokens(
+                    (j.request for j in waiting),
+                    current.prefill_remaining if current else 0,
+                    request.priority,
+                )
+                decision = self.admission.check(
+                    request, max(now, request.arrival_s), backlog
+                )
+                if decision.admitted:
+                    waiting.append(_Job(request, stats[request.request_id]))
+                else:
+                    rejected.append(request)
+
+        while pending or waiting or current or decode_ready or decoding:
+            admit_arrivals()
+            if not (waiting or current or decode_ready or decoding):
+                now = max(now, pending[0].arrival_s)
+                continue
+
+            # Prefilled streams join the batch while it has room.
+            while decode_ready and len(decoding) < self.max_batch:
+                job = decode_ready.popleft()
+                job.stats.decode_start_s = now
+                decoding[job.request.request_id] = job
+
+            # Prefill slot: claim, or preempt at a chunk boundary.
+            if current is None and waiting:
+                current = self._pick_prefill(waiting, ledger, now)
+                if current is not None:
+                    waiting.remove(current)
+            elif (
+                self.mode == "chunked" and current is not None and waiting
+            ):
+                challenger = self._pick_prefill(waiting, ledger, now)
+                if challenger is not None and (
+                    challenger.request.priority > current.request.priority
+                    or (
+                        current.over_budget(now)
+                        and not challenger.over_budget(now)
+                    )
+                ):
+                    waiting.append(current)
+                    current.stats.preemptions += 1
+                    preemptions += 1
+                    current = challenger
+                    waiting.remove(challenger)
+            if current is not None and not current.kv_held:
+                ledger.reserve(
+                    current.request.request_id, current.request.kv_tokens
+                )
+                current.kv_held = True
+                current.stats.prefill_start_s = now
+                peak_kv = max(peak_kv, ledger.reserved_tokens)
+
+            # Compose one step.
+            batch = len(decoding)
+            exclusive_block = self.mode == "exclusive" and current is not None
+            if exclusive_block:
+                chunk = current.prefill_remaining
+                step_s = self.exclusive_prefill_seconds(current.request.seq_in)
+                kind = "prefill"
+            else:
+                chunk = (
+                    min(self.chunk_tokens, current.prefill_remaining)
+                    if current is not None
+                    else 0
+                )
+                if batch == 0 and chunk == 0:
+                    # Admitted work exists but nothing can start this
+                    # instant (KV fully reserved by queued streams);
+                    # the joins above guarantee this cannot happen.
+                    raise SimulationError("scheduler made no progress")
+                mean_context = (
+                    max(
+                        1,
+                        int(
+                            sum(j.context for j in decoding.values()) / batch
+                        ),
+                    )
+                    if batch
+                    else 1
+                )
+                step_s = self.fused_step_seconds(batch, mean_context, chunk)
+                if batch and chunk:
+                    kind = "fused"
+                elif batch:
+                    kind = "decode"
+                else:
+                    kind = "prefill"
+            peak_batch = max(peak_batch, batch)
+
+            # Fault check: a killed step burns its time plus backoff and
+            # commits nothing.
+            start = now
+            if self.faults.step_fails():
+                consecutive_failures += 1
+                if consecutive_failures > MAX_CONSECUTIVE_RETRIES:
+                    raise SimulationError(
+                        f"step failed {consecutive_failures} times in a row"
+                    )
+                retries += 1
+                if current is not None:
+                    current.stats.retries += 1
+                for job in decoding.values():
+                    job.stats.retries += 1
+                now = start + step_s + self.faults.backoff_s(
+                    consecutive_failures
+                )
+                events.append(StepEvent(
+                    start_s=start, end_s=now, kind="retry",
+                    decode_batch=batch, chunk_tokens=chunk,
+                    kv_tokens=ledger.reserved_tokens,
+                    queue_depth=len(waiting) + len(decode_ready)
+                    + (1 if current else 0),
+                ))
+                peak_queue = max(peak_queue, events[-1].queue_depth)
+                continue
+            consecutive_failures = 0
+            now = start + step_s
+
+            # Commit decode progress (stalls during an exclusive block).
+            if not exclusive_block and batch:
+                total_tokens += batch
+                finished: List[int] = []
+                for request_id, job in decoding.items():
+                    job.generated += 1
+                    if job.generated == 1:
+                        job.stats.first_token_s = now
+                    if job.generated == job.request.seq_out:
+                        finished.append(request_id)
+                for request_id in finished:
+                    job = decoding.pop(request_id)
+                    job.stats.finish_s = now
+                    ledger.release(request_id)
+
+            # Commit prefill progress.
+            if current is not None and chunk:
+                current.prefilled += chunk
+                current.stats.prefill_chunks += 1
+                if current.prefill_remaining == 0:
+                    decode_ready.append(current)
+                    current = None
+
+            queue_depth = (
+                len(waiting) + len(decode_ready) + (1 if current else 0)
+            )
+            peak_queue = max(peak_queue, queue_depth)
+            events.append(StepEvent(
+                start_s=start, end_s=now, kind=kind,
+                decode_batch=batch, chunk_tokens=chunk,
+                kv_tokens=ledger.reserved_tokens,
+                queue_depth=queue_depth,
+            ))
+
+        completed = [
+            stats[r.request_id] for r in requests
+            if not any(r.request_id == x.request_id for x in rejected)
+        ]
+        return ServingMetrics(
+            completed=completed,
+            rejected=rejected,
+            makespan_s=now,
+            total_decode_tokens=total_tokens,
+            peak_batch=peak_batch,
+            kv_capacity_tokens=self.kv_capacity_tokens,
+            peak_kv_tokens=peak_kv,
+            peak_queue_depth=peak_queue,
+            retries=retries,
+            preemptions=preemptions,
+            events=events,
+        )
+
+
+def compare_modes(
+    model: ModelConfig,
+    device: PLMRDevice,
+    requests: List[Request],
+    chunk_tokens: int = 256,
+    max_batch: Optional[int] = None,
+    failure_rate: float = 0.0,
+    seed: int = 0,
+) -> Dict[str, ServingMetrics]:
+    """Serve the same trace under both modes with identical settings.
+
+    Fresh fault injectors with the same seed keep the failure process
+    identical step-for-step as far as the Bernoulli draws go, so the
+    comparison isolates the scheduling policy.
+    """
+    results: Dict[str, ServingMetrics] = {}
+    for mode in ("chunked", "exclusive"):
+        server = WaferServer(
+            model, device, mode=mode, chunk_tokens=chunk_tokens,
+            max_batch=max_batch,
+            fault_injector=FaultInjector(failure_rate, seed=seed),
+        )
+        results[mode] = server.serve(requests)
+    return results

@@ -1,0 +1,179 @@
+"""Serving metrics: per-step event log and the aggregate report.
+
+:class:`ServingMetrics` is the record every serving simulation returns.
+It carries enough raw material (per-request timelines plus a per-step
+event log) for the invariant tests to re-derive every headline number:
+
+* **TTFT / TPOT** — arrival-to-first-token and inter-token interval,
+  with p50/p99 over completed requests;
+* **queue depth** — admitted-but-not-yet-decoding requests, sampled at
+  every step boundary;
+* **KV occupancy** — reserved KV tokens against the region capacity,
+  sampled at every step boundary (the M-property budget the scheduler
+  must never exceed);
+* **goodput vs. SLO** — decode tokens from requests that met all their
+  latency targets, per wall-clock second (the Sarathi/MOCAP serving
+  metric: raw throughput that violates SLOs is not useful work).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.serving.request import Request, RequestStats
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) of a non-empty sequence."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[idx]
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One scheduler step: what ran and what the system looked like after.
+
+    ``kind`` is ``"decode"`` (pure batched decode), ``"fused"`` (decode +
+    piggybacked prefill chunk), ``"prefill"`` (chunk with no live decode
+    streams, or an exclusive prefill block), or ``"retry"`` (a step the
+    fault injector killed; its time and backoff elapsed, nothing
+    committed).
+    """
+
+    start_s: float
+    end_s: float
+    kind: str
+    decode_batch: int
+    chunk_tokens: int
+    kv_tokens: int
+    queue_depth: int
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock span of the step."""
+        return self.end_s - self.start_s
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregate outcome of one serving simulation."""
+
+    completed: List[RequestStats]
+    rejected: List[Request]
+    makespan_s: float
+    total_decode_tokens: int
+    peak_batch: int
+    kv_capacity_tokens: int
+    peak_kv_tokens: int = 0
+    peak_queue_depth: int = 0
+    retries: int = 0
+    preemptions: int = 0
+    events: List[StepEvent] = field(default_factory=list)
+
+    # -- conservation ---------------------------------------------------
+    @property
+    def submitted(self) -> int:
+        """Requests offered to the server."""
+        return len(self.completed) + len(self.rejected)
+
+    @property
+    def admitted(self) -> int:
+        """Requests the admission controller accepted."""
+        return len(self.completed)
+
+    @property
+    def finished(self) -> int:
+        """Requests that ran to their last token."""
+        return len(self.completed)
+
+    # -- latency --------------------------------------------------------
+    @property
+    def mean_latency_s(self) -> float:
+        """Average request latency over completed requests."""
+        if not self.completed:
+            return 0.0
+        return sum(s.latency_s for s in self.completed) / len(self.completed)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """99th-percentile request latency."""
+        return percentile([s.latency_s for s in self.completed], 0.99)
+
+    @property
+    def p50_ttft_s(self) -> float:
+        """Median time-to-first-token."""
+        return percentile([s.ttft_s for s in self.completed], 0.50)
+
+    @property
+    def p99_ttft_s(self) -> float:
+        """99th-percentile time-to-first-token."""
+        return percentile([s.ttft_s for s in self.completed], 0.99)
+
+    @property
+    def mean_tpot_s(self) -> float:
+        """Average inter-token interval over completed requests."""
+        spans = [s.tpot_s for s in self.completed if s.request.seq_out > 1]
+        return sum(spans) / len(spans) if spans else 0.0
+
+    @property
+    def p99_tpot_s(self) -> float:
+        """99th-percentile inter-token interval."""
+        spans = [s.tpot_s for s in self.completed if s.request.seq_out > 1]
+        return percentile(spans, 0.99)
+
+    # -- throughput / goodput -------------------------------------------
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        """Generated tokens per wall-clock second over the whole run."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_decode_tokens / self.makespan_s
+
+    @property
+    def goodput_tokens_per_s(self) -> float:
+        """Decode tokens from SLO-compliant requests, per second."""
+        if self.makespan_s <= 0:
+            return 0.0
+        good = sum(s.request.seq_out for s in self.completed if s.met_slo)
+        return good / self.makespan_s
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of completed requests that met every latency target."""
+        if not self.completed:
+            return 0.0
+        return sum(1 for s in self.completed if s.met_slo) / len(self.completed)
+
+    # -- occupancy ------------------------------------------------------
+    @property
+    def peak_kv_fraction(self) -> float:
+        """Peak KV reservation as a fraction of the region capacity."""
+        if self.kv_capacity_tokens <= 0:
+            return 0.0
+        return self.peak_kv_tokens / self.kv_capacity_tokens
+
+    @property
+    def mean_queue_depth(self) -> float:
+        """Time-weighted mean queue depth over the run."""
+        if not self.events or self.makespan_s <= 0:
+            return 0.0
+        weighted = sum(e.queue_depth * e.duration_s for e in self.events)
+        return weighted / self.makespan_s
+
+    @property
+    def decode_stall_s(self) -> float:
+        """Wall-clock time live decode streams spent stalled.
+
+        A step stalls decode when streams are live but produce nothing:
+        exclusive prefill blocks and fault retries.  This is the quantity
+        chunked prefill exists to eliminate.
+        """
+        return sum(
+            e.duration_s for e in self.events
+            if e.decode_batch > 0 and e.kind in ("prefill", "retry")
+        )

@@ -1,12 +1,12 @@
-"""Multi-request serving on the wafer: continuous batching simulation.
+"""Legacy dual-region serving: exclusive prefill + batched decode.
 
-The paper evaluates single-stream inference and notes (Section 2.1) that
-adding accelerators helps *throughput* for concurrent queries but not
-per-query latency; its Section 8 roadmap expects concurrent streams to
-fill the pipeline bubbles.  This module builds that serving layer as an
-extension: an event-driven simulator that admits requests, runs prefill
-exclusively (it saturates the big grid), and decodes all live streams as
-one *continuously batched* step.
+The original serving extension: an event-driven simulator that admits
+requests, runs prefill exclusively on the big prefill grid (FIFO), and
+decodes all live streams as one *continuously batched* step on the
+decode regions.  Superseded as the primary serving model by
+:mod:`repro.serving.chunked`, which interleaves chunked prefill with
+decode on a single region under SLO-aware admission; this class remains
+the dual-region reference point and keeps the original API stable.
 
 Batched decode on the wafer is modelled from the calibrated single-token
 cost: weights are stationary, so a step's communication/launch skeleton
@@ -22,56 +22,15 @@ live batch: each stream owns a slice of every row's cache budget.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.plmr import PLMRDevice
 from repro.errors import ConfigurationError
 from repro.llm.config import ModelConfig
-from repro.llm.kvcache import capacity_geometry
+from repro.llm.kvcache import region_token_capacity
 from repro.llm.wafer_system import WaferLLMSystem
-
-
-@dataclass(frozen=True)
-class Request:
-    """One inference request."""
-
-    request_id: int
-    seq_in: int
-    seq_out: int
-    arrival_s: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.seq_in < 1 or self.seq_out < 1:
-            raise ConfigurationError("seq_in and seq_out must be positive")
-        if self.arrival_s < 0:
-            raise ConfigurationError("arrival time must be non-negative")
-
-
-@dataclass
-class RequestStats:
-    """Measured timeline of one served request."""
-
-    request: Request
-    prefill_start_s: float = 0.0
-    decode_start_s: float = 0.0
-    finish_s: float = 0.0
-
-    @property
-    def latency_s(self) -> float:
-        """Arrival to last token."""
-        return self.finish_s - self.request.arrival_s
-
-    @property
-    def queueing_s(self) -> float:
-        """Time spent waiting before prefill began."""
-        return self.prefill_start_s - self.request.arrival_s
-
-    @property
-    def decode_tokens_per_s(self) -> float:
-        """Per-request decode rate."""
-        span = self.finish_s - self.decode_start_s
-        return self.request.seq_out / span if span > 0 else 0.0
+from repro.serving.request import Request, RequestStats
 
 
 @dataclass
@@ -125,13 +84,19 @@ class ContinuousBatchingServer:
 
     # ------------------------------------------------------------------
     def kv_bounded_batch(self, context_len: int = 4096) -> int:
-        """Streams whose KV fits the decode region's budget (M property)."""
-        geometry = capacity_geometry(
+        """Streams whose KV fits the decode region's budget (M property).
+
+        Returns the true count — 0 when not even one ``context_len``
+        stream fits — rather than clamping to 1 and overcommitting the
+        region (the constructor rejects an infeasible default loudly).
+        """
+        if context_len < 1:
+            raise ConfigurationError("context_len must be positive")
+        tokens_capacity = region_token_capacity(
             self.model, self.decode_grid,
             self.device.core_memory_bytes, self.device.num_cores,
         )
-        tokens_capacity = geometry.tokens_per_row * geometry.grid_height
-        return max(1, tokens_capacity // context_len)
+        return tokens_capacity // context_len
 
     def prefill_seconds(self, seq_in: int) -> float:
         """Exclusive prefill time for one prompt."""
@@ -196,6 +161,8 @@ class ContinuousBatchingServer:
             for request_id, state in active.items():
                 state[0] += 1
                 state[1] -= 1
+                if state[0] == stats[request_id].request.seq_in + 1:
+                    stats[request_id].first_token_s = now
                 if state[1] == 0:
                     finished.append(request_id)
             for request_id in finished:

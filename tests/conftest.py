@@ -1,12 +1,43 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the slow-test gate.
+
+Setting ``MAX_TEST_SECONDS`` (CI does: 60) fails the session if any
+single test's call phase exceeds it — runaway tests surface as a hard
+failure instead of silently eroding the suite's turnaround time.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.core.device_presets import TINY_MESH, WSE2
 from repro.mesh.machine import MeshMachine
+
+_MAX_TEST_SECONDS = float(os.environ.get("MAX_TEST_SECONDS", "0") or 0)
+_slow_tests: list[tuple[str, float]] = []
+
+
+def pytest_runtest_logreport(report):
+    if (
+        _MAX_TEST_SECONDS > 0
+        and report.when == "call"
+        and report.duration > _MAX_TEST_SECONDS
+    ):
+        _slow_tests.append((report.nodeid, report.duration))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _slow_tests:
+        lines = "\n".join(
+            f"  {nodeid}: {duration:.1f}s" for nodeid, duration in _slow_tests
+        )
+        print(
+            f"\nERROR: tests exceeded MAX_TEST_SECONDS="
+            f"{_MAX_TEST_SECONDS:g}:\n{lines}"
+        )
+        session.exitstatus = 1
 
 
 @pytest.fixture

@@ -1,0 +1,107 @@
+"""Property-based differential tests: mesh kernels vs numpy, bit-exact.
+
+Shapes, mesh sizes, and operand values are drawn from seeded stdlib
+``random`` streams (no extra test deps), covering odd grids and
+non-square fabrics.  Operands are integer-valued, so every summation
+order produces the identical float — the assertion is
+``np.array_equal``, not ``allclose``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.device_presets import TINY_MESH
+from repro.gemm import LogicalGrid, MeshGEMM, MeshGEMMNonSquare
+from repro.gemv import MeshGEMV
+from repro.mesh.machine import MeshMachine
+
+#: Non-square fabrics to sample (width, height); the logical grid is the
+#: LCM of the two sides, so these keep operand sizes test-friendly.
+RECT_MESHES = [(2, 3), (3, 2), (2, 4), (4, 2), (3, 4)]
+
+
+def _machine(width: int, height: int | None = None) -> MeshMachine:
+    return MeshMachine(TINY_MESH.submesh(width, height or width))
+
+
+def _int_matrix(rnd: random.Random, rows: int, cols: int) -> np.ndarray:
+    """Integer-valued float matrix from a stdlib random stream."""
+    data = [[float(rnd.randint(-8, 8)) for _ in range(cols)]
+            for _ in range(rows)]
+    return np.array(data, dtype=np.float64)
+
+
+class TestMeshGEMMProperty:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_numpy_bit_exact(self, seed):
+        rnd = random.Random(1000 + seed)
+        grid = rnd.choice([2, 3, 4, 5])  # odd grids included
+        tm, tk, tn = (rnd.randint(1, 3) for _ in range(3))
+        a = _int_matrix(rnd, grid * tm, grid * tk)
+        b = _int_matrix(rnd, grid * tk, grid * tn)
+        machine = _machine(grid)
+        assert np.array_equal(MeshGEMM.run(machine, a, b), a @ b)
+
+    def test_single_core_degenerate_grid(self):
+        rnd = random.Random(42)
+        a = _int_matrix(rnd, 3, 2)
+        b = _int_matrix(rnd, 2, 4)
+        machine = _machine(1)
+        assert np.array_equal(MeshGEMM.run(machine, a, b), a @ b)
+
+
+class TestMeshGEMMNonSquareProperty:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_numpy_bit_exact(self, seed):
+        rnd = random.Random(2000 + seed)
+        width, height = rnd.choice(RECT_MESHES)
+        n = LogicalGrid(height, width).n  # lcm of the two sides
+        tm, tk, tn = (rnd.randint(1, 2) for _ in range(3))
+        a = _int_matrix(rnd, n * tm, n * tk)
+        b = _int_matrix(rnd, n * tk, n * tn)
+        machine = _machine(width, height)
+        assert np.array_equal(MeshGEMMNonSquare.run(machine, a, b), a @ b)
+
+    def test_square_fabric_special_case(self):
+        # On a square fabric the LCM grid degenerates to the plain mesh.
+        rnd = random.Random(7)
+        n = LogicalGrid(3, 3).n
+        assert n == 3
+        a = _int_matrix(rnd, n * 2, n)
+        b = _int_matrix(rnd, n, n * 2)
+        machine = _machine(3)
+        assert np.array_equal(MeshGEMMNonSquare.run(machine, a, b), a @ b)
+
+
+class TestMeshGEMVProperty:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_numpy_bit_exact(self, seed):
+        rnd = random.Random(3000 + seed)
+        grid = rnd.choice([2, 3, 4, 5, 6])  # odd grids included
+        tk, tn = rnd.randint(1, 3), rnd.randint(1, 3)
+        a = _int_matrix(rnd, 1, grid * tk)
+        b = _int_matrix(rnd, grid * tk, grid * tn)
+        machine = _machine(grid)
+        result = MeshGEMV.run(machine, a, b)
+        assert np.array_equal(result, (a @ b)[0])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_flat_vector_and_broadcast(self, seed):
+        rnd = random.Random(4000 + seed)
+        grid = rnd.choice([2, 3, 4, 5])
+        tk = rnd.randint(1, 2)
+        a = _int_matrix(rnd, 1, grid * tk)[0]  # 1-D vector input
+        b = _int_matrix(rnd, grid * tk, grid)
+        machine = _machine(grid)
+        result = MeshGEMV.run(machine, a, b, broadcast=True)
+        expected = a @ b
+        assert np.array_equal(result, expected)
+        # Broadcast leaves every column's chunk on every core in it.
+        for x in range(grid):
+            for y in range(grid):
+                chunk = machine.core((x, y)).load("gemv.c")
+                assert np.array_equal(chunk, expected[x:x + 1])
