@@ -294,6 +294,54 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.profiling import all_kernel_names, build_case, timeline_case
+    from repro.mesh.reconcile import reconcile
+
+    if args.kernel not in all_kernel_names():
+        print(f"unknown kernel {args.kernel}; choose from "
+              f"{all_kernel_names()}", file=sys.stderr)
+        return 2
+    case = build_case(args.kernel, args.grid, dim=args.dim,
+                      height=args.height)
+    machine, timeline = timeline_case(case, args.device)
+
+    # Consecutive steps of the same phase (e.g. a compute-shift loop)
+    # collapse into one table row so the output mirrors Figure 9/10.
+    rows: List[list] = []
+    for row in timeline:
+        if rows and rows[-1][0] == row.label and rows[-1][1] == row.kind:
+            last = rows[-1]
+            last[2] += 1
+            last[3] += row.events
+            last[4] += row.compute_cycles
+            last[5] += row.comm_cycles
+            last[6] += row.total_cycles
+        else:
+            rows.append([row.label, row.kind, 1, row.events,
+                         row.compute_cycles, row.comm_cycles,
+                         row.total_cycles])
+    totals = [sum(r[i] for r in rows) for i in (4, 5, 6)]
+    cells = [[r[0], r[1], str(r[2]), str(r[3]),
+              f"{r[4]:,.0f}", f"{r[5]:,.0f}", f"{r[6]:,.0f}"] for r in rows]
+    cells.append(["TOTAL", "", "", "",
+                  f"{totals[0]:,.0f}", f"{totals[1]:,.0f}",
+                  f"{totals[2]:,.0f}"])
+    width, height = case.mesh
+    print(format_table(
+        f"{case.name} dim={case.dim} on {width}x{height} {args.device} "
+        f"(trace replay)",
+        ["phase", "kind", "steps", "events", "compute", "comm", "cycles"],
+        cells))
+
+    if args.reconcile:
+        report = reconcile(case.planner(), machine.trace, machine.device,
+                           name=case.name)
+        print(report.render())
+        return 0 if report.ok else 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="WaferLLM reproduction toolkit")
@@ -351,6 +399,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default=WSE2.name)
     p.add_argument("--region", type=int, default=None)
     p.set_defaults(func=cmd_project)
+
+    p = sub.add_parser(
+        "profile",
+        help="replay a kernel's execution trace into a phase timeline")
+    p.add_argument("--kernel", default="meshgemm")
+    p.add_argument("--grid", type=int, default=8,
+                   help="fabric side (width for non-square kernels)")
+    p.add_argument("--height", type=int, default=None,
+                   help="fabric height for non-square kernels")
+    p.add_argument("--dim", type=int, default=None,
+                   help="problem dimension (defaults per kernel family)")
+    p.add_argument("--device", default="cerebras-wse2",
+                   help="device preset providing per-core parameters")
+    p.add_argument("--reconcile", action="store_true",
+                   help="also reconcile the analytic plan against the trace")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("serve", help="simulate multi-request serving")
     p.add_argument("--model", default="llama3-8b")

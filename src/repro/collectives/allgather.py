@@ -44,16 +44,19 @@ def line_allgather(
         if len(line) != length:
             raise ShapeError("all lines must have the same length")
 
-    for src_idx in range(length):
-        flows: List[Flow] = []
-        out_name = f"{out_prefix}.{src_idx}"
-        for line in lines:
-            src = line[src_idx]
-            tile = machine.core(src).load(name)
-            machine.place(out_name, src, tile)
-            dsts = [c for c in line if c != src]
-            if dsts:
-                flows.append(Flow.multicast(src, dsts, name, out_name))
-        if flows:
-            machine.communicate(f"{pattern_prefix}-src{src_idx}", flows)
-    machine.advance_step()
+    # All source positions stream concurrently but serialize on each
+    # receiver's ingress link — the "gather" scope kind models exactly
+    # that when the trace is replayed through the cost model.
+    with machine.phase(pattern_prefix, kind="gather"):
+        for src_idx in range(length):
+            flows: List[Flow] = []
+            out_name = f"{out_prefix}.{src_idx}"
+            for line in lines:
+                src = line[src_idx]
+                tile = machine.core(src).load(name)
+                machine.place(out_name, src, tile)
+                dsts = [c for c in line if c != src]
+                if dsts:
+                    flows.append(Flow.multicast(src, dsts, name, out_name))
+            if flows:
+                machine.communicate(f"{pattern_prefix}-src{src_idx}", flows)

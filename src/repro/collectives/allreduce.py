@@ -86,14 +86,14 @@ def pipeline_reduce(
     """
     length = _check_lines(lines)
     inbox = f"{name}.pipe_in"
-    for t in range(length - 1):
-        flows = [
-            Flow.unicast(line[t], line[t + 1], name, inbox) for line in lines
-        ]
-        machine.communicate(pattern, flows)
-        receivers = [line[t + 1] for line in lines]
-        machine.compute(f"{pattern}-add", receivers, _make_adder(name, inbox, op))
-        machine.advance_step()
+    with machine.phase(pattern, kind="reduce", pipelined=True):
+        for t in range(length - 1):
+            flows = [
+                Flow.unicast(line[t], line[t + 1], name, inbox) for line in lines
+            ]
+            machine.communicate(pattern, flows)
+            receivers = [line[t + 1] for line in lines]
+            machine.compute(f"{pattern}-add", receivers, _make_adder(name, inbox, op))
     return [line[-1] for line in lines]
 
 
@@ -139,79 +139,84 @@ def ring_allreduce(
         return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(length)]
 
     # Phase 1: reduce-scatter.  After step s, core i has accumulated chunk
-    # (i - s - 1) mod N from its predecessors.
-    for s in range(length - 1):
-        flows = []
-        adds: List[Tuple[Coord, int]] = []
-        for line in lines:
-            for i, src in enumerate(line):
-                chunk_id = (i - s) % length
-                dst_idx = (i + 1) % length
-                dst = line[dst_idx]
-                tile = machine.core(src).load(name)
-                slices = chunk_slices(tile.shape[-1])
-                payload_name = f"{inbox}.{chunk_id}"
-                machine.place(payload_name, src, tile[..., slices[chunk_id]])
-                flows.append(Flow.unicast(src, dst, payload_name, payload_name))
-                adds.append((dst, chunk_id))
-        machine.communicate(pattern, flows)
+    # (i - s - 1) mod N from its predecessors.  The rounds have a data
+    # dependency between steps (pipelined=False in cost-model terms).
+    with machine.phase(
+        f"{pattern}-reduce-scatter", kind="reduce", pipelined=False
+    ):
+        for s in range(length - 1):
+            flows = []
+            adds: List[Tuple[Coord, int]] = []
+            for line in lines:
+                for i, src in enumerate(line):
+                    chunk_id = (i - s) % length
+                    dst_idx = (i + 1) % length
+                    dst = line[dst_idx]
+                    tile = machine.core(src).load(name)
+                    slices = chunk_slices(tile.shape[-1])
+                    payload_name = f"{inbox}.{chunk_id}"
+                    machine.place(payload_name, src, tile[..., slices[chunk_id]])
+                    flows.append(Flow.unicast(src, dst, payload_name, payload_name))
+                    adds.append((dst, chunk_id))
+            machine.communicate(pattern, flows)
 
-        def reduce_chunk(core: Core, pending=tuple(adds)) -> float:
-            macs = 0.0
-            for coord, chunk_id in pending:
-                if coord != core.coord:
-                    continue
-                tile = core.load(name)
-                slices = chunk_slices(tile.shape[-1])
-                payload_name = f"{inbox}.{chunk_id}"
-                incoming = core.load(payload_name)
-                tile[..., slices[chunk_id]] += incoming
-                macs += float(incoming.size)
-                core.free(payload_name)
-            return macs
+            def reduce_chunk(core: Core, pending=tuple(adds)) -> float:
+                macs = 0.0
+                for coord, chunk_id in pending:
+                    if coord != core.coord:
+                        continue
+                    tile = core.load(name)
+                    slices = chunk_slices(tile.shape[-1])
+                    payload_name = f"{inbox}.{chunk_id}"
+                    incoming = core.load(payload_name)
+                    tile[..., slices[chunk_id]] += incoming
+                    macs += float(incoming.size)
+                    core.free(payload_name)
+                return macs
 
-        machine.compute(f"{pattern}-add", [dst for dst, _ in adds], reduce_chunk)
-        # Free the staged outgoing chunk copies at the sources.
-        for line in lines:
-            for i in range(length):
-                chunk_id = (i - s) % length
-                machine.core(line[i]).free(f"{inbox}.{chunk_id}")
-        machine.advance_step()
+            machine.compute(f"{pattern}-add", [dst for dst, _ in adds], reduce_chunk)
+            # Free the staged outgoing chunk copies at the sources.
+            for line in lines:
+                for i in range(length):
+                    chunk_id = (i - s) % length
+                    machine.core(line[i]).free(f"{inbox}.{chunk_id}")
 
     # Phase 2: allgather.  Core i now owns the fully reduced chunk
     # (i + 1) mod N; circulate the finished chunks.
-    for s in range(length - 1):
-        flows = []
-        writes: List[Tuple[Coord, int]] = []
-        for line in lines:
-            for i, src in enumerate(line):
-                chunk_id = (i + 1 - s) % length
-                dst = line[(i + 1) % length]
-                tile = machine.core(src).load(name)
-                slices = chunk_slices(tile.shape[-1])
-                payload_name = f"{inbox}.g{chunk_id}"
-                machine.place(payload_name, src, tile[..., slices[chunk_id]])
-                flows.append(Flow.unicast(src, dst, payload_name, payload_name))
-                writes.append((dst, chunk_id))
-        machine.communicate(pattern, flows)
+    with machine.phase(f"{pattern}-allgather", kind="reduce", pipelined=False):
+        for s in range(length - 1):
+            flows = []
+            writes: List[Tuple[Coord, int]] = []
+            for line in lines:
+                for i, src in enumerate(line):
+                    chunk_id = (i + 1 - s) % length
+                    dst = line[(i + 1) % length]
+                    tile = machine.core(src).load(name)
+                    slices = chunk_slices(tile.shape[-1])
+                    payload_name = f"{inbox}.g{chunk_id}"
+                    machine.place(payload_name, src, tile[..., slices[chunk_id]])
+                    flows.append(Flow.unicast(src, dst, payload_name, payload_name))
+                    writes.append((dst, chunk_id))
+            machine.communicate(pattern, flows)
 
-        def install_chunk(core: Core, pending=tuple(writes)) -> float:
-            for coord, chunk_id in pending:
-                if coord != core.coord:
-                    continue
-                tile = core.load(name)
-                slices = chunk_slices(tile.shape[-1])
-                payload_name = f"{inbox}.g{chunk_id}"
-                tile[..., slices[chunk_id]] = core.load(payload_name)
-                core.free(payload_name)
-            return 0.0
+            def install_chunk(core: Core, pending=tuple(writes)) -> float:
+                for coord, chunk_id in pending:
+                    if coord != core.coord:
+                        continue
+                    tile = core.load(name)
+                    slices = chunk_slices(tile.shape[-1])
+                    payload_name = f"{inbox}.g{chunk_id}"
+                    tile[..., slices[chunk_id]] = core.load(payload_name)
+                    core.free(payload_name)
+                return 0.0
 
-        machine.compute(f"{pattern}-copy", [dst for dst, _ in writes], install_chunk)
-        for line in lines:
-            for i in range(length):
-                chunk_id = (i + 1 - s) % length
-                machine.core(line[i]).free(f"{inbox}.g{chunk_id}")
-        machine.advance_step()
+            machine.compute(
+                f"{pattern}-copy", [dst for dst, _ in writes], install_chunk
+            )
+            for line in lines:
+                for i in range(length):
+                    chunk_id = (i + 1 - s) % length
+                    machine.core(line[i]).free(f"{inbox}.g{chunk_id}")
 
 
 # ---------------------------------------------------------------------------
@@ -272,37 +277,37 @@ def two_way_group_reduce(
 
     inbox_l = f"{name}.tree_inL"
     inbox_r = f"{name}.tree_inR"
-    for _stage in range(max_stages):
-        flows: List[Flow] = []
-        receivers: Dict[Coord, List[str]] = {}
-        for group, st in zip(groups, state):
-            left, right, root = st
-            if left < root:
-                dst = group[left + 1]
-                flows.append(Flow.unicast(group[left], dst, name, inbox_l))
-                receivers.setdefault(dst, []).append(inbox_l)
-                st[0] = left + 1
-            if right > root:
-                dst = group[right - 1]
-                flows.append(Flow.unicast(group[right], dst, name, inbox_r))
-                receivers.setdefault(dst, []).append(inbox_r)
-                st[1] = right - 1
-        if not flows:
-            break
-        machine.communicate(pattern, flows)
+    with machine.phase(pattern, kind="reduce", pipelined=True):
+        for _stage in range(max_stages):
+            flows: List[Flow] = []
+            receivers: Dict[Coord, List[str]] = {}
+            for group, st in zip(groups, state):
+                left, right, root = st
+                if left < root:
+                    dst = group[left + 1]
+                    flows.append(Flow.unicast(group[left], dst, name, inbox_l))
+                    receivers.setdefault(dst, []).append(inbox_l)
+                    st[0] = left + 1
+                if right > root:
+                    dst = group[right - 1]
+                    flows.append(Flow.unicast(group[right], dst, name, inbox_r))
+                    receivers.setdefault(dst, []).append(inbox_r)
+                    st[1] = right - 1
+            if not flows:
+                break
+            machine.communicate(pattern, flows)
 
-        def absorb(core: Core, inboxes=dict(receivers)) -> float:
-            macs = 0.0
-            for inbox_name in inboxes.get(core.coord, ()):
-                acc = core.load(name)
-                incoming = core.load(inbox_name)
-                core.store(name, combine(acc, incoming))
-                macs += float(incoming.size)
-                core.free(inbox_name)
-            return macs
+            def absorb(core: Core, inboxes=dict(receivers)) -> float:
+                macs = 0.0
+                for inbox_name in inboxes.get(core.coord, ()):
+                    acc = core.load(name)
+                    incoming = core.load(inbox_name)
+                    core.store(name, combine(acc, incoming))
+                    macs += float(incoming.size)
+                    core.free(inbox_name)
+                return macs
 
-        machine.compute(f"{pattern}-add", list(receivers), absorb)
-        machine.advance_step()
+            machine.compute(f"{pattern}-add", list(receivers), absorb)
     return roots
 
 
@@ -365,6 +370,8 @@ def broadcast_from_root(
         dsts = [c for c in line if c != root]
         if dsts:
             flows.append(Flow.multicast(root, dsts, name, name))
-    if flows:
-        machine.communicate(pattern, flows)
-    machine.advance_step()
+    with machine.phase(pattern):
+        if flows:
+            machine.communicate(pattern, flows)
+        else:
+            machine.barrier(pattern)

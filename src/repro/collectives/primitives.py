@@ -94,7 +94,10 @@ def row_broadcast(
     if flows:
         machine.communicate(pattern, flows)
     else:
-        machine.trace.record_comm(machine.step, pattern, [0], [0], {})
+        # Single-column mesh: the broadcast degenerates to the local copy
+        # above.  Record a barrier so the event stays visible without a
+        # fake zero-byte communication phase.
+        machine.barrier(pattern)
 
 
 def column_broadcast(
@@ -118,7 +121,8 @@ def column_broadcast(
     if flows:
         machine.communicate(pattern, flows)
     else:
-        machine.trace.record_comm(machine.step, pattern, [0], [0], {})
+        # Single-row mesh: degenerate broadcast, same as row_broadcast.
+        machine.barrier(pattern)
 
 
 def point_to_point(

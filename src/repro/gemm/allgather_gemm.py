@@ -69,8 +69,8 @@ class AllgatherGEMM(GemmKernel):
                 core.free(f"ag.Bcol.{j}")
             return macs
 
-        machine.compute_all("ag-gemm", local_gemm)
-        machine.advance_step()
+        with machine.phase("ag-gemm"):
+            machine.compute_all("ag-gemm", local_gemm)
         return machine.gather_matrix(c_name, grid, grid)
 
     @classmethod

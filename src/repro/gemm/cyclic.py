@@ -62,21 +62,23 @@ def run_cyclic_shift_gemm(
     # logical block-row logical_at[py], which must shift left by that
     # logical index; likewise for columns of B.
     if grid > 1:
-        row_ring_shift(
-            machine,
-            f"{name_prefix}-align-A",
-            a_name,
-            placement,
-            row_offsets=[-logical_at[py] for py in range(grid)],
-        )
-        column_ring_shift(
-            machine,
-            f"{name_prefix}-align-B",
-            b_name,
-            placement,
-            col_offsets=[-logical_at[px] for px in range(grid)],
-        )
-    machine.advance_step()
+        # A skews on X links while B skews on Y links — the router moves
+        # them concurrently, hence one overlap-kind phase for both.
+        with machine.phase(f"{name_prefix}-align", kind="overlap"):
+            row_ring_shift(
+                machine,
+                f"{name_prefix}-align-A",
+                a_name,
+                placement,
+                row_offsets=[-logical_at[py] for py in range(grid)],
+            )
+            column_ring_shift(
+                machine,
+                f"{name_prefix}-align-B",
+                b_name,
+                placement,
+                col_offsets=[-logical_at[px] for px in range(grid)],
+            )
 
     def multiply_accumulate(core: Core) -> float:
         a_tile = core.load(a_name)
@@ -90,11 +92,15 @@ def run_cyclic_shift_gemm(
         return float(a_tile.shape[0] * a_tile.shape[1] * b_tile.shape[1])
 
     for step in range(grid):
-        machine.compute_all(f"{name_prefix}-mac", multiply_accumulate)
-        if step < grid - 1:
-            row_ring_shift(machine, f"{name_prefix}-shift-A", a_name, placement, offset=-1)
-            column_ring_shift(machine, f"{name_prefix}-shift-B", b_name, placement, offset=-1)
-        machine.advance_step()
+        with machine.phase(f"{name_prefix}-compute-shift", overlap=True):
+            machine.compute_all(f"{name_prefix}-mac", multiply_accumulate)
+            if step < grid - 1:
+                row_ring_shift(
+                    machine, f"{name_prefix}-shift-A", a_name, placement, offset=-1
+                )
+                column_ring_shift(
+                    machine, f"{name_prefix}-shift-B", b_name, placement, offset=-1
+                )
 
     return gather_with_placement(machine, c_name, placement, placement)
 

@@ -86,8 +86,18 @@ class MeshGEMMTransposed(GemmKernel):
             return float(a_tile.shape[0] * a_tile.shape[1] * b_tile.shape[0])
 
         for step in range(grid):
-            machine.compute_all("gemmt-outer", outer_partial)
-            roots = ktree_reduce(machine, rows, p_name, k=2, pattern_prefix="gemmt-reduce")
+            # The outer product overlaps the B shift feeding the *next*
+            # step (independent tile names), so both live in one overlap
+            # scope; the row reduction of P then follows serially.
+            with machine.phase("gemmt-compute-shift", overlap=True):
+                machine.compute_all("gemmt-outer", outer_partial)
+                if step < grid - 1:
+                    column_ring_shift(
+                        machine, "gemmt-shift-B", b_name, placement, offset=-1
+                    )
+            roots = ktree_reduce(
+                machine, rows, p_name, k=2, pattern_prefix="gemmt-reduce"
+            )
             # Deliver each row's reduced block to the core owning C(i, r).
             flows = []
             for py, root in zip(range(grid), roots):
@@ -99,11 +109,9 @@ class MeshGEMMTransposed(GemmKernel):
                 else:
                     flows.append(Flow.unicast(root, target, p_name, c_name))
             if flows:
-                machine.communicate("gemmt-place", flows)
+                with machine.phase("gemmt-place"):
+                    machine.communicate("gemmt-place", flows)
             machine.free(p_name)
-            if step < grid - 1:
-                column_ring_shift(machine, "gemmt-shift-B", b_name, placement, offset=-1)
-            machine.advance_step()
 
         return gather_with_placement(machine, c_name, placement, placement)
 

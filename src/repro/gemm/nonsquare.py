@@ -181,41 +181,51 @@ class MeshGEMMNonSquare:
                     b[i * tk:(i + 1) * tk, j * tn:(j + 1) * tn],
                 )
 
-        # Alignment skews, by logical index of each line row/column.
-        _shift_rows(
-            machine, grid, "nsq.A", placement,
-            [-logical_at[li] for li in range(n)], "nsq-align-A",
-        )
-        _shift_cols(
-            machine, grid, "nsq.B", placement,
-            [-logical_at[lj] for lj in range(n)], "nsq-align-B",
-        )
-        machine.advance_step()
+        # Alignment skews, by logical index of each line row/column.  A
+        # moves on X links, B on Y links — concurrent, one overlap scope.
+        with machine.phase("nsq-align", kind="overlap"):
+            _shift_rows(
+                machine, grid, "nsq.A", placement,
+                [-logical_at[li] for li in range(n)], "nsq-align-A",
+            )
+            _shift_cols(
+                machine, grid, "nsq.B", placement,
+                [-logical_at[lj] for lj in range(n)], "nsq-align-B",
+            )
 
-        def mac_all_slots() -> None:
-            for li in range(n):
-                for lj in range(n):
-                    slot = (li, lj)
-                    core = machine.core(grid.physical(slot))
-                    a_tile = core.load(grid.slot_name("nsq.A", slot))
-                    b_tile = core.load(grid.slot_name("nsq.B", slot))
-                    c_name = grid.slot_name("nsq.C", slot)
-                    c_tile = core.load_optional(c_name)
-                    partial = a_tile @ b_tile
-                    core.store(c_name, partial if c_tile is None else c_tile + partial)
+        # Which logical slots each physical core hosts (for the per-core
+        # MAC accounting routed through the machine's compute API).
+        slots_of: Dict[Coord, List[Slot]] = {
+            coord: [] for coord in machine.topology.coords()
+        }
+        for li in range(n):
+            for lj in range(n):
+                slots_of[grid.physical((li, lj))].append((li, lj))
+
+        def mac_hosted_slots(core) -> float:
+            macs = 0.0
+            for slot in slots_of[core.coord]:
+                a_tile = core.load(grid.slot_name("nsq.A", slot))
+                b_tile = core.load(grid.slot_name("nsq.B", slot))
+                c_name = grid.slot_name("nsq.C", slot)
+                c_tile = core.load_optional(c_name)
+                partial = a_tile @ b_tile
+                core.store(c_name, partial if c_tile is None else c_tile + partial)
+                macs += float(
+                    a_tile.shape[0] * a_tile.shape[1] * b_tile.shape[1]
+                )
+            return macs
 
         for step in range(n):
-            mac_all_slots()
-            machine.trace.record_compute(
-                machine.step,
-                "nsq-mac",
-                [float(tm * tk * tn) * grid.rows_per_core * grid.cols_per_core]
-                * machine.topology.num_cores,
-            )
-            if step < n - 1:
-                _shift_rows(machine, grid, "nsq.A", placement, [-1] * n, "nsq-shift-A")
-                _shift_cols(machine, grid, "nsq.B", placement, [-1] * n, "nsq-shift-B")
-            machine.advance_step()
+            with machine.phase("nsq-compute-shift", overlap=True):
+                machine.compute_all("nsq-mac", mac_hosted_slots)
+                if step < n - 1:
+                    _shift_rows(
+                        machine, grid, "nsq.A", placement, [-1] * n, "nsq-shift-A"
+                    )
+                    _shift_cols(
+                        machine, grid, "nsq.B", placement, [-1] * n, "nsq-shift-B"
+                    )
 
         result = np.zeros((n * tm, n * tn), dtype=np.result_type(a, b))
         for i in range(n):

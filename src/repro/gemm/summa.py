@@ -65,11 +65,14 @@ class SummaGEMM(GemmKernel):
         for k in range(grid):
             # Pivot column k of A broadcasts east/west; pivot row k of B
             # broadcasts north/south.  Each step is a fresh route colour —
-            # the O(N) paths-per-core cost the trace will show.
-            row_broadcast(machine, f"summa-bcast-A{k}", a_name, a_piv, root_x=k)
-            column_broadcast(machine, f"summa-bcast-B{k}", b_name, b_piv, root_y=k)
-            machine.compute_all("summa-mac", accumulate)
-            machine.advance_step()
+            # the O(N) paths-per-core cost the trace will show.  The
+            # broadcasts of step k+1 overlap the MACs of step k.
+            with machine.phase("summa-broadcast-mac", overlap=True):
+                row_broadcast(machine, f"summa-bcast-A{k}", a_name, a_piv, root_x=k)
+                column_broadcast(
+                    machine, f"summa-bcast-B{k}", b_name, b_piv, root_y=k
+                )
+                machine.compute_all("summa-mac", accumulate)
 
         return machine.gather_matrix(c_name, grid, grid)
 

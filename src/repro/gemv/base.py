@@ -103,7 +103,8 @@ def local_partial_gemv(machine: MeshMachine, out_name: str = "gemv.c") -> None:
         core.store(out_name, vec @ mat)
         return float(mat.shape[0] * mat.shape[1])
 
-    machine.compute_all("gemv-partial", partial)
+    with machine.phase("gemv-partial"):
+        machine.compute_all("gemv-partial", partial)
 
 
 def gather_gemv_result(

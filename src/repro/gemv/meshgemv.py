@@ -56,7 +56,6 @@ class MeshGEMV(GemvKernel):
         """
         grid = scatter_gemv_operands(machine, a, b)
         local_partial_gemv(machine)
-        machine.advance_step()
         columns = [machine.topology.column(x) for x in range(grid)]
         roots = ktree_reduce(machine, columns, "gemv.c", k=cls.k,
                              pattern_prefix="meshgemv-ktree")

@@ -46,7 +46,6 @@ class PipelineGEMV(GemvKernel):
         """Functional execution; returns the dense ``a @ b`` row vector."""
         grid = scatter_gemv_operands(machine, a, b)
         local_partial_gemv(machine)
-        machine.advance_step()
         columns = [machine.topology.column(x) for x in range(grid)]
         roots = pipeline_reduce(machine, columns, "gemv.c",
                                 pattern="pipeline-gemv-reduce")

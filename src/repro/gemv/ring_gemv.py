@@ -50,7 +50,6 @@ class RingGEMV(GemvKernel):
         """
         grid = scatter_gemv_operands(machine, a, b)
         local_partial_gemv(machine)
-        machine.advance_step()
         columns = [machine.topology.column(x) for x in range(grid)]
         ring_allreduce(machine, columns, "gemv.c", pattern="ring-gemv-allreduce")
         roots = [column[0] for column in columns]

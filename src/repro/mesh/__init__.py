@@ -4,7 +4,14 @@ from repro.mesh.topology import Coord, MeshTopology
 from repro.mesh.core_sim import Core
 from repro.mesh.fabric import FabricModel, Flow
 from repro.mesh.machine import MeshMachine
-from repro.mesh.trace import CommRecord, ComputeRecord, Trace
+from repro.mesh.trace import (
+    BarrierRecord,
+    CommRecord,
+    ComputeRecord,
+    FlowRecord,
+    PhaseScope,
+    Trace,
+)
 from repro.mesh.cost_model import (
     CommPhase,
     ComputePhase,
@@ -12,6 +19,15 @@ from repro.mesh.cost_model import (
     LoopPhase,
     ReducePhase,
     estimate,
+)
+from repro.mesh.reconcile import (
+    ReconcileReport,
+    TimelineRow,
+    Tolerances,
+    reconcile,
+    trace_cost,
+    trace_timeline,
+    trace_to_phases,
 )
 from repro.mesh.netsim import (
     FlowResult,
@@ -39,6 +55,16 @@ __all__ = [
     "Trace",
     "CommRecord",
     "ComputeRecord",
+    "BarrierRecord",
+    "FlowRecord",
+    "PhaseScope",
+    "reconcile",
+    "ReconcileReport",
+    "Tolerances",
+    "trace_cost",
+    "trace_timeline",
+    "trace_to_phases",
+    "TimelineRow",
     "ComputePhase",
     "CommPhase",
     "ReducePhase",

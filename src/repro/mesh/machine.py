@@ -23,7 +23,8 @@ Conventions
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,7 +33,7 @@ from repro.errors import PlacementError, ShapeError, SimulationError
 from repro.mesh.core_sim import Core
 from repro.mesh.fabric import FabricModel, Flow
 from repro.mesh.topology import Coord, MeshTopology
-from repro.mesh.trace import Trace
+from repro.mesh.trace import FlowRecord, Trace
 
 
 class MeshMachine:
@@ -67,6 +68,42 @@ class MeshMachine:
         """Move to the next step; phases recorded after this get the new index."""
         self._step += 1
         return self._step
+
+    @contextmanager
+    def phase(
+        self,
+        label: str,
+        overlap: bool = False,
+        kind: Optional[str] = None,
+        pipelined: bool = True,
+    ) -> Iterator[None]:
+        """Scope a group of events into one named phase of the stream.
+
+        Everything recorded inside the ``with`` block joins one phase
+        group of the trace: ``overlap=True`` declares that the compute
+        and communication of the block run side by side (one step of a
+        compute-shift loop); ``kind`` can name a collective structure
+        (``"reduce"``, ``"gather"``) so trace replay lowers the block to
+        the matching cost-model phase.  The step counter advances when
+        the block exits, replacing bare :meth:`advance_step` calls.
+        """
+        if kind is None:
+            kind = "overlap" if overlap else "serial"
+        scope = self.trace.begin_phase(label, kind=kind, pipelined=pipelined)
+        try:
+            yield
+        finally:
+            self.trace.end_phase(scope)
+            self._step += 1
+
+    def barrier(self, pattern: str) -> None:
+        """Record an explicit no-op synchronization point.
+
+        Used where a collective degenerates (e.g. a broadcast over a
+        single-core line): the event stays visible in the stream without
+        polluting communication statistics with zero-byte flows.
+        """
+        self.trace.record_barrier(self._step, pattern)
 
     # ------------------------------------------------------------------
     # Placement and data movement to/from the host
@@ -155,14 +192,29 @@ class MeshMachine:
         touched = self.fabric.register(pattern, flows)
         flow_hops: List[int] = []
         flow_bytes: List[int] = []
+        flow_records: List[FlowRecord] = []
         for flow, payload in zip(flows, payloads):
             hops = self.fabric.flow_hops(flow)
             flow_hops.append(hops)
             flow_bytes.append(payload.nbytes * len(flow.dsts))
-            for dst in flow.dsts:
-                self.core(dst).store(flow.dst_name, payload)
+            flow_records.append(
+                FlowRecord(
+                    src=flow.src,
+                    dsts=tuple(flow.dsts),
+                    hops=hops,
+                    nbytes=payload.nbytes,
+                )
+            )
+            for idx, dst in enumerate(flow.dsts):
+                # Each destination owns its copy — multicast receivers must
+                # not alias one ndarray, or an in-place update on one core
+                # would leak to the others.
+                delivered = payload if idx == 0 else np.array(payload, copy=True)
+                self.core(dst).store(flow.dst_name, delivered)
                 self._note_memory(dst)
-        self.trace.record_comm(self._step, pattern, flow_hops, flow_bytes, touched)
+        self.trace.record_comm(
+            self._step, pattern, flow_hops, flow_bytes, touched, flows=flow_records
+        )
 
     def shift_named(
         self,

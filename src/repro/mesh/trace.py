@@ -12,6 +12,14 @@ trace we derive exactly the three metrics of the paper's Figures 6 and 8:
 * peak per-core resident memory is tracked by the cores themselves and
   surfaced here for reporting.
 
+Since the phase-stream refactor the trace is also *replayable*: records
+keep their per-flow hop/byte detail and per-core MAC lists, and they are
+tagged with the enclosing :meth:`~repro.mesh.machine.MeshMachine.phase`
+scope (label, kind, overlap semantics).  ``Trace.to_phases()`` lowers the
+stream into the analytic ``ComputePhase``/``CommPhase``/``ReducePhase``
+machinery of :mod:`repro.mesh.cost_model`, which is how one functional
+run produces its own cycle estimate (see :mod:`repro.mesh.reconcile`).
+
 Tests assert that the measured numbers match the symbolic claims in
 ``repro.core.compliance``.
 """
@@ -20,9 +28,56 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 Coord = Tuple[int, int]
+
+#: Valid phase-scope kinds (see :meth:`Trace.begin_phase`):
+#:
+#: * ``serial``  — events cost one after another;
+#: * ``overlap`` — the compute chain and the (concurrent) comm streams of
+#:   the scope run side by side, like one step of a compute-shift loop;
+#: * ``reduce``  — alternating comm/add stages form one streaming
+#:   reduction (lowered to a single :class:`ReducePhase`);
+#: * ``gather``  — concurrent streams serialized on the busiest ingress
+#:   link (lowered to a single :class:`CommPhase`).
+PHASE_KINDS = ("serial", "overlap", "reduce", "gather")
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One flow of a communication phase: src streaming to dst(s).
+
+    ``nbytes`` is the per-destination payload; a multicast delivers the
+    same ``nbytes`` to every destination but occupies each link once.
+    """
+
+    src: Coord
+    dsts: Tuple[Coord, ...]
+    hops: int
+    nbytes: int
+
+
+def ingress_port(src: Coord, dst: Coord) -> Tuple[str, int]:
+    """The link a flow from ``src`` enters ``dst`` on, under XY routing.
+
+    The route travels X first, then Y, so the final approach is along Y
+    whenever the rows differ.  Flows arriving on different ports (e.g.
+    the east and west halves of a two-way reduction) do not serialize on
+    each other — ingress accounting is per (core, port)."""
+    if src[1] != dst[1]:
+        return ("y", 1 if dst[1] > src[1] else -1)
+    return ("x", 1 if dst[0] > src[0] else -1)
+
+
+@dataclass
+class PhaseScope:
+    """Metadata of one phase group in the replayable stream."""
+
+    group: int
+    label: str
+    kind: str = "serial"
+    pipelined: bool = True
 
 
 @dataclass
@@ -36,6 +91,29 @@ class CommRecord:
     total_hops: int
     max_payload_bytes: int
     total_payload_bytes: int
+    phase: Optional[str] = None
+    group: int = -1
+    seq: int = -1
+    flows: Tuple[FlowRecord, ...] = ()
+
+    @property
+    def ingress_bottleneck_bytes(self) -> int:
+        """Bytes through the busiest receiving link of this phase.
+
+        This is the serialization term a cost model charges: concurrent
+        flows entering one destination *on the same port* share its
+        ingress link (flows from opposite directions do not).  Falls back
+        to the largest per-flow payload when per-flow detail is absent
+        (legacy traces).
+        """
+        if not self.flows:
+            return self.max_payload_bytes
+        ingress: Dict[tuple, int] = defaultdict(int)
+        for flow in self.flows:
+            for dst in flow.dsts:
+                ingress[(dst, ingress_port(flow.src, dst))] += flow.nbytes
+        per_flow = max(flow.nbytes for flow in self.flows)
+        return max(max(ingress.values(), default=0), per_flow)
 
 
 @dataclass
@@ -47,6 +125,29 @@ class ComputeRecord:
     max_macs: float
     total_macs: float
     num_cores: int
+    phase: Optional[str] = None
+    group: int = -1
+    seq: int = -1
+    macs: Tuple[float, ...] = ()
+
+
+@dataclass
+class BarrierRecord:
+    """An explicit no-op synchronization point (no flows, no cost).
+
+    Recorded where a collective degenerates to nothing (e.g. a broadcast
+    on a one-core line) so the event is visible without inflating the
+    comm-phase statistics the way a fake zero-byte ``CommRecord`` would.
+    """
+
+    step: int
+    pattern: str
+    phase: Optional[str] = None
+    group: int = -1
+    seq: int = -1
+
+
+TraceEvent = Union[CommRecord, ComputeRecord, BarrierRecord]
 
 
 @dataclass
@@ -55,10 +156,53 @@ class Trace:
 
     comms: List[CommRecord] = field(default_factory=list)
     computes: List[ComputeRecord] = field(default_factory=list)
+    barriers: List[BarrierRecord] = field(default_factory=list)
     _colours_per_core: Dict[Coord, Set[str]] = field(
         default_factory=lambda: defaultdict(set)
     )
     peak_memory_bytes: int = 0
+    _scopes: List[PhaseScope] = field(default_factory=list)
+    _scope_stack: List[PhaseScope] = field(default_factory=list)
+    _next_group: int = 0
+    _next_seq: int = 0
+
+    # -- phase scoping -------------------------------------------------
+    def begin_phase(
+        self, label: str, kind: str = "serial", pipelined: bool = True
+    ) -> PhaseScope:
+        """Open a phase scope; events recorded until ``end_phase`` join it."""
+        if kind not in PHASE_KINDS:
+            raise ValueError(f"unknown phase kind {kind!r}; choose from {PHASE_KINDS}")
+        scope = PhaseScope(
+            group=self._next_group, label=label, kind=kind, pipelined=pipelined
+        )
+        self._next_group += 1
+        self._scopes.append(scope)
+        self._scope_stack.append(scope)
+        return scope
+
+    def end_phase(self, scope: PhaseScope) -> None:
+        """Close the innermost phase scope (must match ``scope``)."""
+        if not self._scope_stack or self._scope_stack[-1] is not scope:
+            raise ValueError("phase scopes must close in LIFO order")
+        self._scope_stack.pop()
+
+    def _tag(self, label: str) -> Tuple[Optional[str], int, int]:
+        """Phase label, group id and sequence number for a new event.
+
+        Events recorded outside any scope get a singleton serial group of
+        their own, so unscoped (legacy) code still yields a well-formed
+        phase stream.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        if self._scope_stack:
+            scope = self._scope_stack[-1]
+            return scope.label, scope.group, seq
+        scope = PhaseScope(group=self._next_group, label=label, kind="serial")
+        self._next_group += 1
+        self._scopes.append(scope)
+        return scope.label, scope.group, seq
 
     # -- recording -----------------------------------------------------
     def record_comm(
@@ -68,12 +212,16 @@ class Trace:
         flow_hops: List[int],
         flow_bytes: List[int],
         touched: Dict[Coord, Set[str]],
+        flows: Optional[Sequence[FlowRecord]] = None,
     ) -> None:
         """Record one communication phase.
 
         ``flow_hops`` / ``flow_bytes`` are per-flow; ``touched`` maps each
         core on any flow's route to the set of route colours it carries.
+        ``flows`` carries the full per-flow detail (source, destinations,
+        hops, per-destination bytes) used by trace replay.
         """
+        phase, group, seq = self._tag(pattern)
         self.comms.append(
             CommRecord(
                 step=step,
@@ -83,6 +231,10 @@ class Trace:
                 total_hops=sum(flow_hops),
                 max_payload_bytes=max(flow_bytes) if flow_bytes else 0,
                 total_payload_bytes=sum(flow_bytes),
+                phase=phase,
+                group=group,
+                seq=seq,
+                flows=tuple(flows) if flows else (),
             )
         )
         for coord, colours in touched.items():
@@ -94,6 +246,7 @@ class Trace:
         """Record one compute phase with per-core MAC counts."""
         if not macs_per_core:
             return
+        phase, group, seq = self._tag(label)
         self.computes.append(
             ComputeRecord(
                 step=step,
@@ -101,13 +254,55 @@ class Trace:
                 max_macs=max(macs_per_core),
                 total_macs=sum(macs_per_core),
                 num_cores=len(macs_per_core),
+                phase=phase,
+                group=group,
+                seq=seq,
+                macs=tuple(float(m) for m in macs_per_core),
             )
+        )
+
+    def record_barrier(self, step: int, pattern: str) -> None:
+        """Record an explicit no-op synchronization event."""
+        phase, group, seq = self._tag(pattern)
+        self.barriers.append(
+            BarrierRecord(step=step, pattern=pattern, phase=phase, group=group, seq=seq)
         )
 
     def note_memory(self, resident_bytes: int) -> None:
         """Track the high-water mark of any core's resident memory."""
         if resident_bytes > self.peak_memory_bytes:
             self.peak_memory_bytes = resident_bytes
+
+    # -- replayable phase stream ----------------------------------------
+    def events(self) -> List[TraceEvent]:
+        """All events in execution order."""
+        merged: List[TraceEvent] = [*self.comms, *self.computes, *self.barriers]
+        merged.sort(key=lambda record: record.seq)
+        return merged
+
+    def phase_groups(self) -> List[Tuple[PhaseScope, List[TraceEvent]]]:
+        """Ordered (scope, events) groups of the stream; empty scopes dropped."""
+        by_group: Dict[int, List[TraceEvent]] = defaultdict(list)
+        for event in self.events():
+            by_group[event.group].append(event)
+        groups = []
+        for scope in self._scopes:
+            events = by_group.get(scope.group)
+            if events:
+                groups.append((scope, events))
+        groups.sort(key=lambda pair: pair[1][0].seq)
+        return groups
+
+    def to_phases(self):
+        """Lower the stream into analytic cost-model phases.
+
+        Returns a list of :class:`~repro.mesh.cost_model.ComputePhase` /
+        ``CommPhase`` / ``ReducePhase`` / ``LoopPhase`` objects equivalent
+        to what this trace executed; see :mod:`repro.mesh.reconcile`.
+        """
+        from repro.mesh.reconcile import trace_to_phases
+
+        return trace_to_phases(self)
 
     # -- derived compliance metrics -------------------------------------
     @property
@@ -150,6 +345,7 @@ class Trace:
             "steps": self.total_steps,
             "comm_phases": len(self.comms),
             "compute_phases": len(self.computes),
+            "barrier_phases": len(self.barriers),
             "critical_path_hops": self.critical_path_hops,
             "max_paths_per_core": self.max_paths_per_core,
             "total_payload_bytes": self.total_payload_bytes,

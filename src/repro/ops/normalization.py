@@ -84,8 +84,8 @@ class DistributedRMSNorm:
             return float(chunk.size)
 
         line = machine.topology.row(row)
-        machine.compute("rms-square", line, local_square_sum)
-        machine.advance_step()
+        with machine.phase("rms-square"):
+            machine.compute("rms-square", line, local_square_sum)
         roots = ktree_reduce(machine, [line], "rms.sq", k=2,
                              pattern_prefix="rms-ktree")
         broadcast_from_root(machine, [line], roots, "rms.sq",
@@ -98,8 +98,8 @@ class DistributedRMSNorm:
             core.store("rms.x", chunk / rms * core.load("rms.w"))
             return float(chunk.size) * 2.0
 
-        machine.compute("rms-normalize", line, local_normalize)
-        machine.advance_step()
+        with machine.phase("rms-normalize"):
+            machine.compute("rms-normalize", line, local_normalize)
         result = _gather_line_chunks(machine, "rms.x", grid, row)
         for name in ("rms.x", "rms.w", "rms.sq"):
             machine.free(name, line)
@@ -141,8 +141,8 @@ class DistributedSoftmax:
             core.store("sm.max", np.array([peak]))
             return float(chunk.size)
 
-        machine.compute("sm-max", line, local_max)
-        machine.advance_step()
+        with machine.phase("sm-max"):
+            machine.compute("sm-max", line, local_max)
         roots = ktree_reduce(machine, [line], "sm.max", k=2,
                              pattern_prefix="sm-ktree-max", op="max")
         broadcast_from_root(machine, [line], roots, "sm.max",
@@ -156,8 +156,8 @@ class DistributedSoftmax:
             core.store("sm.sum", np.array([float(np.sum(exps))]))
             return float(chunk.size) * 2.0
 
-        machine.compute("sm-exp", line, local_exp_sum)
-        machine.advance_step()
+        with machine.phase("sm-exp"):
+            machine.compute("sm-exp", line, local_exp_sum)
         roots = ktree_reduce(machine, [line], "sm.sum", k=2,
                              pattern_prefix="sm-ktree-sum")
         broadcast_from_root(machine, [line], roots, "sm.sum",
@@ -169,8 +169,8 @@ class DistributedSoftmax:
             core.store("sm.x", chunk / total)
             return float(chunk.size)
 
-        machine.compute("sm-scale", line, local_scale)
-        machine.advance_step()
+        with machine.phase("sm-scale"):
+            machine.compute("sm-scale", line, local_scale)
         result = _gather_line_chunks(machine, "sm.x", grid, row)
         for name in ("sm.x", "sm.max", "sm.sum"):
             machine.free(name, line)
@@ -183,10 +183,12 @@ class DistributedSoftmax:
         phases: List[Phase] = [
             ComputePhase(label="sm-max", macs_per_core=chunk)
         ]
-        for _ in range(2):  # max pass, then sum pass
-            phases += ktree_reduce_plan(grid, payload_bytes=4.0,
-                                        payload_elems=1.0, k=2)
-            phases += root_broadcast_plan(grid, payload_bytes=4.0)
-        phases.append(ComputePhase(label="sm-exp-scale",
-                                   macs_per_core=3.0 * chunk))
+        phases += ktree_reduce_plan(grid, payload_bytes=4.0,
+                                    payload_elems=1.0, k=2)
+        phases += root_broadcast_plan(grid, payload_bytes=4.0)
+        phases.append(ComputePhase(label="sm-exp", macs_per_core=2.0 * chunk))
+        phases += ktree_reduce_plan(grid, payload_bytes=4.0,
+                                    payload_elems=1.0, k=2)
+        phases += root_broadcast_plan(grid, payload_bytes=4.0)
+        phases.append(ComputePhase(label="sm-scale", macs_per_core=chunk))
         return phases

@@ -96,3 +96,35 @@ class TestAuditAndProject:
         assert main(["project", "--model", "llama2-13b"]) == 0
         out = capsys.readouterr().out
         assert "resident projection" in out and "wider" in out
+
+
+class TestProfile:
+    def test_meshgemm_timeline(self, capsys):
+        assert main(["profile", "--kernel", "meshgemm", "--grid", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "meshgemm-compute-shift" in out
+        assert "trace replay" in out and "TOTAL" in out
+
+    def test_meshgemv_timeline(self, capsys):
+        assert main(["profile", "--kernel", "meshgemv", "--grid", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "gemv-partial" in out and "meshgemv-ktree-L1" in out
+
+    def test_reconcile_flag(self, capsys):
+        assert main(["profile", "--kernel", "summa", "--grid", "4",
+                     "--reconcile"]) == 0
+        out = capsys.readouterr().out
+        assert "reconcile" in out and "ok" in out
+
+    def test_nonsquare_height(self, capsys):
+        assert main(["profile", "--kernel", "meshgemm-nonsquare",
+                     "--grid", "2", "--height", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "2x3" in out and "nsq-compute-shift" in out
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["profile", "--kernel", "nope"]) == 2
+
+    def test_unknown_preset(self, capsys):
+        assert main(["profile", "--kernel", "meshgemm", "--grid", "4",
+                     "--device", "nope"]) == 2

@@ -1,0 +1,200 @@
+"""Plan-vs-trace reconciliation across every registered kernel.
+
+The phase-stream refactor promises one thing above all: a kernel's
+analytic ``plan()`` and its functional execution describe the *same*
+computation.  These tests enforce that promise generically — every
+kernel in the profiling registry is run functionally, its trace lowered
+back into cost-model phases, and the two cycle estimates compared
+within the named :class:`~repro.mesh.reconcile.Tolerances`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PRESETS
+from repro.errors import ConfigurationError
+from repro.mesh.cost_model import CommPhase, ComputePhase, LoopPhase, ReducePhase
+from repro.mesh.machine import MeshMachine
+from repro.mesh.reconcile import reconcile, trace_timeline
+from repro.mesh.trace import ingress_port
+from repro.profiling import (
+    all_kernel_names,
+    build_case,
+    reconcile_case,
+    run_case,
+    timeline_case,
+)
+
+SQUARE_KERNELS = [n for n in all_kernel_names() if n != "meshgemm-nonsquare"]
+PRESET_NAMES = ["cerebras-wse2", "tenstorrent-like"]
+
+
+class TestReconcileSweep:
+    @pytest.mark.parametrize("preset", PRESET_NAMES)
+    @pytest.mark.parametrize("grid", [4, 5])
+    @pytest.mark.parametrize("kernel", SQUARE_KERNELS)
+    def test_plan_matches_trace(self, kernel, grid, preset):
+        report = reconcile_case(build_case(kernel, grid), preset)
+        report.check()
+
+    @pytest.mark.parametrize("preset", PRESET_NAMES)
+    @pytest.mark.parametrize("mesh", [(2, 3), (3, 4)])
+    def test_nonsquare_fabrics(self, mesh, preset):
+        width, height = mesh
+        case = build_case("meshgemm-nonsquare", width, height=height)
+        reconcile_case(case, preset).check()
+
+    def test_odd_grid_seven(self):
+        # A deeper odd grid stresses uneven K-tree groups and ring hops.
+        for kernel in ("meshgemm", "meshgemv", "meshgemv-k3"):
+            reconcile_case(build_case(kernel, 7)).check()
+
+    def test_compute_bucket_is_exact(self):
+        # MAC counts are counted, not modelled: the compute bucket of the
+        # trace must equal the plan's bit for bit on a clean tiling.
+        report = reconcile_case(build_case("meshgemm", 4))
+        compute = next(b for b in report.buckets if b.bucket == "compute")
+        assert compute.rel_diff == pytest.approx(0.0)
+
+    def test_report_render_names_buckets(self):
+        report = reconcile_case(build_case("summa", 4))
+        text = report.render()
+        for needle in ("compute:", "comm:", "total:", "tol"):
+            assert needle in text
+
+    def test_check_raises_on_drift(self):
+        # Doubling the plan's compute must blow the 5% compute tolerance.
+        case = build_case("meshgemm", 4)
+        machine = run_case(case)
+        phases = case.planner() + [
+            ComputePhase(label="phantom", macs_per_core=1e9)
+        ]
+        report = reconcile(phases, machine.trace, machine.device,
+                           name="meshgemm-drift")
+        assert not report.ok
+        with pytest.raises(AssertionError, match="compute"):
+            report.check()
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            build_case("nope", 4)
+
+
+class TestTraceLowering:
+    def test_to_phases_vocabulary(self):
+        machine = run_case(build_case("meshgemv", 4))
+        phases = machine.trace.to_phases()
+        assert phases, "trace lowered to no phases"
+        assert all(
+            isinstance(p, (ComputePhase, CommPhase, ReducePhase, LoopPhase))
+            for p in phases
+        )
+        # The K-tree column reduction must lower to ReducePhases.
+        assert any(isinstance(p, ReducePhase) for p in phases)
+
+    def test_compute_shift_loop_coalesces(self):
+        # meshgemm's per-step overlap scopes share one label, so the
+        # lowering merges the `grid - 1` shifting steps into one
+        # LoopPhase; the final (shift-free) step stays a ComputePhase.
+        machine = run_case(build_case("meshgemm", 4))
+        phases = machine.trace.to_phases()
+        loops = [p for p in phases
+                 if isinstance(p, LoopPhase)
+                 and p.label == "meshgemm-compute-shift"]
+        assert len(loops) == 1
+        assert loops[0].steps == 3
+        assert any(isinstance(p, ComputePhase)
+                   and p.label == "meshgemm-compute-shift" for p in phases)
+
+    def test_timeline_replays_without_execution(self):
+        machine, rows = timeline_case(build_case("meshgemm", 4))
+        assert rows
+        assert sum(r.events for r in rows) == len(machine.trace.events())
+        assert sum(r.total_cycles for r in rows) > 0
+        # Replay is pure: a second replay of the same trace is identical.
+        again = trace_timeline(machine.trace, machine.device)
+        assert [(r.label, r.total_cycles) for r in rows] == \
+            [(r.label, r.total_cycles) for r in again]
+
+    def test_loop_coalescing_buys_overlap(self):
+        # Per-step timeline rows pay fill/drain individually; the
+        # coalesced stream overlaps compute and shifts across steps, so
+        # the reconciled total is strictly below the sum of the rows.
+        machine, rows = timeline_case(build_case("meshgemm", 4))
+        shift = [r for r in rows if r.label == "meshgemm-compute-shift"]
+        assert shift and all(r.kind == "overlap" for r in shift)
+        from repro.mesh.reconcile import trace_cost
+
+        total = trace_cost(machine.device, machine.trace).total_cycles
+        assert total < sum(r.total_cycles for r in rows)
+
+    def test_ingress_port_directions(self):
+        # XY routing approaches along Y when rows differ, else along X.
+        assert ingress_port((0, 0), (3, 0)) == ("x", 1)
+        assert ingress_port((3, 0), (0, 0)) == ("x", -1)
+        assert ingress_port((2, 4), (2, 1)) == ("y", -1)
+        assert ingress_port((0, 0), (3, 2)) == ("y", 1)
+
+
+class TestPhaseScopes:
+    def _machine(self, side=3):
+        return MeshMachine(PRESETS["tiny-test-mesh"].submesh(side, side))
+
+    def test_unknown_kind_rejected(self):
+        machine = self._machine()
+        with pytest.raises(ValueError, match="unknown phase kind"):
+            machine.trace.begin_phase("x", kind="parallel")
+
+    def test_lifo_enforced(self):
+        trace = self._machine().trace
+        outer = trace.begin_phase("outer")
+        trace.begin_phase("inner")
+        with pytest.raises(ValueError, match="LIFO"):
+            trace.end_phase(outer)
+
+    def test_unscoped_events_get_singleton_groups(self):
+        machine = self._machine()
+        machine.compute_all("a", lambda core: 1.0)
+        machine.compute_all("b", lambda core: 1.0)
+        groups = machine.trace.phase_groups()
+        assert [scope.label for scope, _ in groups] == ["a", "b"]
+        assert all(len(events) == 1 for _, events in groups)
+
+    def test_phase_groups_events_in_order(self):
+        machine = self._machine()
+        with machine.phase("work", overlap=True):
+            machine.compute_all("work-mac", lambda core: 2.0)
+            machine.barrier("work-sync")
+        groups = machine.trace.phase_groups()
+        assert len(groups) == 1
+        scope, events = groups[0]
+        assert scope.kind == "overlap"
+        assert [e.seq for e in events] == sorted(e.seq for e in events)
+
+    def test_barriers_counted_in_summary(self):
+        machine = self._machine()
+        machine.barrier("sync")
+        summary = machine.trace.summary()
+        assert summary["barrier_phases"] == 1
+        assert summary["comm_phases"] == 0
+
+
+class TestMulticastDelivery:
+    def test_destinations_not_aliased(self):
+        # A multicast delivers independent tiles: mutating one receiver's
+        # copy must not leak into the others (regression for the shared-
+        # ndarray delivery bug).
+        from repro.mesh.fabric import Flow
+
+        machine = MeshMachine(PRESETS["tiny-test-mesh"].submesh(3, 1))
+        machine.place("t", (0, 0), np.array([1.0, 2.0]))
+        machine.communicate("bcast", [
+            Flow(src=(0, 0), dsts=((1, 0), (2, 0)), src_name="t",
+                 dst_name="t"),
+        ])
+        first = machine.core((1, 0)).load("t")
+        first += 100.0
+        np.testing.assert_allclose(machine.core((2, 0)).load("t"),
+                                   [1.0, 2.0])
+        np.testing.assert_allclose(machine.core((1, 0)).load("t"),
+                                   [101.0, 102.0])

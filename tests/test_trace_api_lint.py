@@ -1,0 +1,27 @@
+"""The trace-API lint holds: kernels never record into the trace raw."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from lint_trace_api import SOURCE_ROOT, find_violations  # noqa: E402
+
+
+def test_no_direct_trace_recording():
+    violations = find_violations()
+    pretty = "\n".join(
+        f"{path.relative_to(REPO_ROOT)}:{lineno}: {line}"
+        for path, lineno, line in violations
+    )
+    assert not violations, (
+        "direct Trace.record_* calls outside repro/mesh/machine.py "
+        f"(use machine.communicate/compute/barrier):\n{pretty}"
+    )
+
+
+def test_lint_scans_the_real_tree():
+    # Guard against the lint silently pointing at a stale directory.
+    assert (SOURCE_ROOT / "mesh" / "machine.py").is_file()
+    assert len(list(SOURCE_ROOT.rglob("*.py"))) > 50

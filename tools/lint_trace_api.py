@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Lint: kernels must not call the raw ``Trace.record_*`` API.
+
+The replayable phase stream depends on every event carrying its phase
+scope, per-flow detail, and per-core MAC list — which only the
+:class:`~repro.mesh.machine.MeshMachine` wrappers (``communicate``,
+``compute``, ``barrier``) fill in.  A kernel that records into the
+trace directly produces events the reconciler cannot replay, so direct
+calls are allowed only inside the machine itself (and the trace module
+that defines them).
+
+Run from the repository root::
+
+    python tools/lint_trace_api.py
+
+Exits non-zero listing each offending ``path:line`` on stderr.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Modules allowed to touch the raw recording API: the machine (the one
+#: sanctioned caller) and the trace module that defines it.
+ALLOWED = {
+    SOURCE_ROOT / "mesh" / "machine.py",
+    SOURCE_ROOT / "mesh" / "trace.py",
+}
+
+RECORD_CALL = re.compile(r"\.record_(comm|compute|barrier)\s*\(")
+
+
+def find_violations(source_root: Path = SOURCE_ROOT) -> List[Tuple[Path, int, str]]:
+    """All ``path, line number, line`` triples calling ``record_*`` directly."""
+    violations: List[Tuple[Path, int, str]] = []
+    for path in sorted(source_root.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if RECORD_CALL.search(line):
+                violations.append((path, lineno, line.strip()))
+    return violations
+
+
+def main() -> int:
+    violations = find_violations()
+    for path, lineno, line in violations:
+        rel = path.relative_to(REPO_ROOT)
+        print(f"{rel}:{lineno}: direct trace recording: {line}",
+              file=sys.stderr)
+    if violations:
+        print(
+            f"\n{len(violations)} direct Trace.record_* call(s) outside "
+            "repro/mesh/machine.py — route them through machine."
+            "communicate / compute / barrier so the phase stream stays "
+            "replayable.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
