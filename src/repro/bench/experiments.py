@@ -328,3 +328,86 @@ def run_serving_cells(device: PLMRDevice = WSE2) -> List[CellResult]:
             CellResult(f"{mode}: decode stall (s)", metrics.decode_stall_s),
         ])
     return results
+
+
+FAULT_SWEEP_SEED = 0
+
+
+def run_fault_sweep(
+    device: PLMRDevice = WSE2,
+    model_name: str = "llama3-8b",
+    n_requests: int = 16,
+    seq_in: int = 1024,
+    seq_out: int = 256,
+    interval_s: float = 0.05,
+    chunk_tokens: int = 256,
+    seed: int = FAULT_SWEEP_SEED,
+):
+    """The canonical fault ladder: one request trace, five scenarios.
+
+    Returns ``[(label, ServingMetrics), ...]`` for a clean fabric,
+    transient upsets, link retrains, a core death absorbed by a spare
+    region, and core deaths past the spare budget.  The baseline
+    makespan is reused as every scenario's fault horizon, so the whole
+    sweep is a pure function of ``seed``.  Shared by ``repro faults``
+    and the EXPERIMENTS.md generator.
+    """
+    from repro.mesh.faults import FaultEvent, FaultInjector, FaultSchedule
+    from repro.serving import Request, WaferServer
+
+    model = get_model(model_name)
+    requests = [
+        Request(i, seq_in=seq_in, seq_out=seq_out,
+                arrival_s=i * interval_s, priority=i % 2)
+        for i in range(n_requests)
+    ]
+
+    def run(schedule, fault_rate, spares):
+        server = WaferServer(
+            model, device, chunk_tokens=chunk_tokens,
+            fault_injector=FaultInjector(fault_rate, seed=seed),
+            fault_schedule=schedule, spare_regions=spares,
+        )
+        return server.serve(requests)
+
+    baseline = run(None, 0.0, 1)
+    horizon = baseline.makespan_s
+    return [
+        ("baseline", baseline),
+        ("transient upsets", run(
+            FaultSchedule.generate(
+                horizon, seed=seed, transient_rate_hz=8.0 / horizon),
+            0.0, 1)),
+        ("link retrains", run(
+            FaultSchedule.generate(
+                horizon, seed=seed, retrain_rate_hz=4.0 / horizon,
+                retrain_duration_s=horizon * 0.01,
+                retrain_bw_factor=0.25),
+            0.0, 1)),
+        ("core death + spare", run(
+            FaultSchedule(events=[
+                FaultEvent(at_s=horizon * 0.3, kind="core_dead",
+                           detail="planned death"),
+            ]), 0.0, 1)),
+        ("core deaths, no spares", run(
+            FaultSchedule(events=[
+                FaultEvent(at_s=horizon * 0.3, kind="core_dead",
+                           detail="death#0"),
+                FaultEvent(at_s=horizon * 0.6, kind="core_dead",
+                           detail="death#1"),
+            ]), 0.0, 0)),
+    ]
+
+
+def fault_sweep_rows(scenarios) -> List[List[str]]:
+    """Render ``run_fault_sweep`` output as the shared table rows."""
+    rows: List[List[str]] = []
+    for label, m in scenarios:
+        rows.append([
+            label, str(m.finished), str(len(m.rejected)),
+            str(m.retries), str(m.remaps), str(m.degradations),
+            f"{m.availability:.4f}",
+            f"{m.mttr_s * 1e3:.2f}",
+            f"{m.goodput_tokens_per_s:,.0f}",
+        ])
+    return rows

@@ -285,12 +285,46 @@ def cmd_serve(args) -> int:
             model, device, mode=mode, chunk_tokens=args.chunk,
             max_batch=args.batch,
             fault_injector=FaultInjector(args.fault_rate, seed=args.seed),
+            max_retries=args.max_retries,
+            spare_regions=args.spares,
         )
         metrics = server.serve(requests)
         print(format_table(
             f"serving {model.name} on {device.name} "
             f"({mode} prefill, chunk={args.chunk})",
             ["metric", "value"], _serving_rows(metrics)))
+    return 0
+
+
+def cmd_faults(args) -> int:
+    """Seeded fault sweep: availability / MTTR / goodput per scenario.
+
+    Runs the same request trace through the chunked server under a
+    ladder of fault scenarios — clean fabric, transient upsets, link
+    retrains, a core death absorbed by a spare region, and core deaths
+    past the spare budget — and prints the fault-tolerance table
+    EXPERIMENTS.md records.  Every scenario is a pure function of
+    ``--seed``.
+    """
+    from repro.bench.experiments import fault_sweep_rows, run_fault_sweep
+
+    device = get_device(args.device)
+    model = get_model(args.model)
+    if args.smoke:
+        n_requests, seq_in, seq_out = 6, 512, 64
+    else:
+        n_requests, seq_in, seq_out = args.requests, args.seq_in, args.seq_out
+    scenarios = run_fault_sweep(
+        device, model_name=args.model,
+        n_requests=n_requests, seq_in=seq_in, seq_out=seq_out,
+        interval_s=args.interval, chunk_tokens=args.chunk, seed=args.seed,
+    )
+    print(format_table(
+        f"fault sweep: {model.name} on {device.name} "
+        f"({n_requests} requests, seed={args.seed})",
+        ["scenario", "done", "shed", "retries", "remaps", "degr",
+         "availability", "MTTR ms", "goodput tok/s"],
+        fault_sweep_rows(scenarios)))
     return 0
 
 
@@ -437,9 +471,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-rate", type=float, default=0.0,
                    help="per-step failure probability")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-retries", type=int, default=64,
+                   help="consecutive step retries before escalating")
+    p.add_argument("--spares", type=int, default=1,
+                   help="spare regions available for core-death remaps")
     p.add_argument("--compare", action="store_true",
                    help="run chunked and exclusive on the same trace")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "faults",
+        help="seeded fault sweep: availability / MTTR / goodput table")
+    p.add_argument("--model", default="llama3-8b")
+    p.add_argument("--device", default=WSE2.name)
+    p.add_argument("--requests", type=int, default=16)
+    p.add_argument("--seq-in", type=int, default=1024)
+    p.add_argument("--seq-out", type=int, default=256)
+    p.add_argument("--interval", type=float, default=0.05)
+    p.add_argument("--chunk", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny fast sweep for CI")
+    p.set_defaults(func=cmd_faults)
     return parser
 
 

@@ -82,6 +82,34 @@ class PlacementError(ReproError):
     """A tensor layout or placement request is invalid for the mesh."""
 
 
+class RemapError(PlacementError):
+    """The logical-over-physical remap cannot be built.
+
+    Raised when a defect map leaves too few healthy cores (or rows) to
+    host the requested dense logical mesh — the wafer-scale analogue of
+    a die whose spare rows are exhausted at configuration time.
+    """
+
+
+class FaultEscalationError(ReproError):
+    """The runtime's fault-escalation policy ran out of options.
+
+    Raised by the serving layer when a step cannot commit within the
+    configured retry budget: at that point the failure process is not
+    transient noise but a mis-configured (or catastrophically faulty)
+    fabric, and looping further would never terminate.
+    """
+
+    def __init__(self, consecutive_failures: int, limit: int):
+        self.consecutive_failures = consecutive_failures
+        self.limit = limit
+        super().__init__(
+            f"step failed {consecutive_failures} consecutive times "
+            f"(max_retries={limit}); the failure process is pathological — "
+            f"lower the fault rate or raise the retry budget"
+        )
+
+
 class SimulationError(ReproError):
     """The functional mesh machine reached an inconsistent state."""
 

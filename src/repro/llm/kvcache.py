@@ -314,6 +314,20 @@ class KVTokenLedger:
             raise ConfigurationError(f"holder {holder} has no reservation")
         return self._reserved.pop(holder)
 
+    def resize(self, capacity_tokens: int) -> None:
+        """Change the region budget in place (graceful degradation).
+
+        Shrinking never evicts live reservations: streams already holding
+        KV run to completion even when the new capacity sits below the
+        reserved total (``free_tokens`` goes negative and every new
+        ``can_reserve`` fails until enough holders release).  This is the
+        capacity-degradation lever the fault escalation policy pulls when
+        a core dies with no spare region left.
+        """
+        if capacity_tokens < 0:
+            raise ConfigurationError("capacity must be non-negative")
+        self.capacity_tokens = capacity_tokens
+
 
 def measure_max_tokens(cache) -> int:
     """Append placeholder tokens until the cache refuses; returns the count.

@@ -37,7 +37,15 @@ from repro.mesh.netsim import (
     phase_makespan,
     simulate_flows,
 )
-from repro.mesh.faults import FaultInjector
+from repro.mesh.faults import FaultEvent, FaultInjector, FaultSchedule
+from repro.mesh.remap import (
+    DefectMap,
+    LogicalRemap,
+    RemappedTopology,
+    build_remap,
+    build_remapped_topology,
+    normalize_link,
+)
 from repro.mesh.energy import (
     EnergyBreakdown,
     activity_energy,
@@ -72,6 +80,14 @@ __all__ = [
     "KernelCost",
     "estimate",
     "FaultInjector",
+    "FaultEvent",
+    "FaultSchedule",
+    "DefectMap",
+    "LogicalRemap",
+    "RemappedTopology",
+    "build_remap",
+    "build_remapped_topology",
+    "normalize_link",
     "EnergyBreakdown",
     "activity_energy",
     "energy_ratio",

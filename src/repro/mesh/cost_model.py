@@ -57,18 +57,31 @@ class ComputePhase:
 
 @dataclass(frozen=True)
 class CommPhase:
-    """One streamed transfer: ``payload_bytes`` over ``hop_distance`` hops."""
+    """One streamed transfer: ``payload_bytes`` over ``hop_distance`` hops.
+
+    ``bw_derate`` is the surviving bandwidth fraction of the slowest link
+    on the path (1.0 on a healthy fabric); a degraded link stretches the
+    streamed body by ``1 / bw_derate`` while the head latency is
+    unchanged — see :mod:`repro.mesh.remap`.
+    """
 
     label: str
     hop_distance: float
     payload_bytes: float
     repeats: int = 1
     overhead_cycles: float = DEFAULT_PHASE_OVERHEAD_CYCLES
+    bw_derate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bw_derate <= 1.0:
+            raise ConfigurationError(
+                f"bw_derate must be in (0, 1], got {self.bw_derate}"
+            )
 
     def cycles(self, device: PLMRDevice) -> float:
         """Total cycles of this phase on ``device``."""
         head = self.hop_distance * device.hop_cycles
-        body = self.payload_bytes / device.link_bytes_per_cycle
+        body = self.payload_bytes / (device.link_bytes_per_cycle * self.bw_derate)
         return self.repeats * (self.overhead_cycles + head + body)
 
 
@@ -103,10 +116,19 @@ class ReducePhase:
     repeats: int = 1
     pipelined: bool = True
     overhead_cycles: float = DEFAULT_PHASE_OVERHEAD_CYCLES
+    bw_derate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bw_derate <= 1.0:
+            raise ConfigurationError(
+                f"bw_derate must be in (0, 1], got {self.bw_derate}"
+            )
 
     def cycles(self, device: PLMRDevice) -> float:
         """Total cycles of this phase on ``device``."""
-        stream = self.payload_bytes / device.link_bytes_per_cycle
+        stream = self.payload_bytes / (
+            device.link_bytes_per_cycle * self.bw_derate
+        )
         adds = self.stage_add_elems / device.macs_per_cycle
         hop = self.stage_hop_distance * device.hop_cycles
         if self.pipelined:

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.plmr import PLMRDevice
-from repro.errors import MessageSizeError, RoutingResourceError
+from repro.errors import ConfigurationError, MessageSizeError, RoutingResourceError
 from repro.mesh.topology import Coord, MeshTopology
 
 
@@ -77,10 +77,32 @@ class FabricModel:
         return touched
 
     def flow_hops(self, flow: Flow) -> int:
-        """Critical-path hops of a flow: distance to the farthest dst."""
+        """Critical-path hops of a flow: distance to the farthest dst.
+
+        On a :class:`~repro.mesh.remap.RemappedTopology` this is the
+        *physical* route length — remap displacement and dead-link
+        detours included — which is how degraded fabric surfaces in the
+        trace and the cost model without kernels noticing.
+        """
         if not flow.dsts:
             return 0
         return max(self.topology.hop_distance(flow.src, dst) for dst in flow.dsts)
+
+    def flow_bandwidth_factor(self, flow: Flow) -> float:
+        """Worst surviving bandwidth fraction along a flow's route(s).
+
+        A streamed payload pipelines at the rate of its slowest link, so
+        one degraded link throttles the whole flow.  Returns 1.0 on a
+        defect-free topology without walking any route.
+        """
+        if not getattr(self.topology, "has_link_defects", False):
+            return 1.0
+        factor = 1.0
+        for dst in flow.dsts:
+            route = self.topology.xy_route(flow.src, dst)
+            for a, b in zip(route, route[1:]):
+                factor = min(factor, self.topology.link_bandwidth_factor(a, b))
+        return factor
 
     def register(self, pattern: str, flows: Sequence[Flow]) -> Dict[Coord, Set[str]]:
         """Account one communication phase under a route colour.
@@ -110,14 +132,19 @@ class FabricModel:
         if nbytes > self.device.message_bytes:
             raise MessageSizeError(nbytes, self.device.message_bytes)
 
-    def stream_cycles(self, hops: int, payload_bytes: int) -> float:
+    def stream_cycles(
+        self, hops: int, payload_bytes: int, bw_factor: float = 1.0
+    ) -> float:
         """Cycles to stream a payload across ``hops`` hops.
 
         The head wavelet pays per-hop latency; the rest of the payload
-        pipelines behind it at the link width.
+        pipelines behind it at the link width, throttled by the route's
+        worst surviving bandwidth fraction ``bw_factor``.
         """
+        if not 0.0 < bw_factor <= 1.0:
+            raise ConfigurationError(f"bw_factor must be in (0, 1], got {bw_factor}")
         head = hops * self.device.hop_cycles
-        body = payload_bytes / self.device.link_bytes_per_cycle
+        body = payload_bytes / (self.device.link_bytes_per_cycle * bw_factor)
         return head + body
 
     def paths_at(self, coord: Coord) -> int:

@@ -10,6 +10,18 @@ tunable for experiments — and hands schedulers the retry arithmetic:
 exponential backoff with a cap, mirroring how the host runtime paces
 re-launches while the fabric recovers.
 
+Beyond the memoryless Bernoulli process, :class:`FaultSchedule` carries
+*typed, timed* fault events — the taxonomy the escalation policy in
+:mod:`repro.serving.chunked` reacts to:
+
+* ``transient`` — a one-shot upset that kills the step in flight and is
+  gone on retry (SEU, dropped wavelet);
+* ``link_retrain`` — a fabric link renegotiates for ``duration_s``; the
+  region keeps running at ``bw_factor`` of nominal bandwidth, so steps
+  overlapping the window are stretched, not killed;
+* ``core_dead`` — a core fails permanently; no retry can succeed on the
+  same region, the server must remap onto spare capacity or degrade.
+
 The serving layer consumes this: a killed step costs its full duration
 plus the backoff penalty and commits nothing, which is precisely why
 chunked prefill beats exclusive prefill under faults — a retry loses one
@@ -19,12 +31,25 @@ chunk, not a whole prompt's prefill pass.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
+#: The fault kinds the escalation policy understands.
+FAULT_KINDS = ("transient", "link_retrain", "core_dead")
+
 
 class FaultInjector:
-    """Seeded Bernoulli step-killer with exponential-backoff pacing."""
+    """Seeded Bernoulli step-killer with exponential-backoff pacing.
+
+    With ``jitter=True`` the backoff follows the *decorrelated jitter*
+    schedule (pause drawn uniformly between the base and three times the
+    previous pause, capped) instead of pure exponential doubling: retry
+    storms across concurrently-failing regions desynchronise instead of
+    hammering the host runtime in lockstep.  The draw uses its own seeded
+    RNG so enabling jitter never perturbs the failure process itself.
+    """
 
     def __init__(
         self,
@@ -32,6 +57,7 @@ class FaultInjector:
         seed: int = 0,
         base_backoff_s: float = 1e-4,
         max_backoff_s: float = 1e-2,
+        jitter: bool = False,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise ConfigurationError("failure_rate must be in [0, 1)")
@@ -42,7 +68,11 @@ class FaultInjector:
         self.failure_rate = failure_rate
         self.base_backoff_s = base_backoff_s
         self.max_backoff_s = max_backoff_s
+        self.jitter = jitter
         self._rng = random.Random(seed)
+        # Separate stream: jitter draws must not advance the fate RNG.
+        self._jitter_rng = random.Random((seed ^ 0x5DEECE66D) & 0xFFFFFFFF)
+        self._prev_backoff = 0.0
         self.steps_attempted = 0
         self.steps_killed = 0
 
@@ -60,5 +90,158 @@ class FaultInjector:
         """Pause before the ``consecutive_failures``-th retry (1-based)."""
         if consecutive_failures < 1:
             raise ConfigurationError("consecutive_failures must be >= 1")
-        pause = self.base_backoff_s * (2.0 ** (consecutive_failures - 1))
-        return min(pause, self.max_backoff_s)
+        if not self.jitter:
+            pause = self.base_backoff_s * (2.0 ** (consecutive_failures - 1))
+            return min(pause, self.max_backoff_s)
+        # Decorrelated jitter: sleep = min(cap, uniform(base, prev * 3)).
+        if consecutive_failures == 1:
+            self._prev_backoff = 0.0
+        lo = self.base_backoff_s
+        hi = max(lo, self._prev_backoff * 3.0)
+        pause = min(self.max_backoff_s, self._jitter_rng.uniform(lo, hi))
+        self._prev_backoff = pause
+        return pause
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One typed fault at a point in serving time.
+
+    ``at_s`` is the wall-clock instant the fault strikes; a step whose
+    execution window covers it observes the event.  ``duration_s`` and
+    ``bw_factor`` only apply to ``link_retrain`` (the retrain window and
+    the surviving bandwidth fraction during it).
+    """
+
+    at_s: float
+    kind: str
+    duration_s: float = 0.0
+    bw_factor: float = 1.0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.at_s < 0:
+            raise ConfigurationError(f"fault time must be >= 0, got {self.at_s}")
+        if self.duration_s < 0:
+            raise ConfigurationError("fault duration must be >= 0")
+        if not 0.0 < self.bw_factor <= 1.0:
+            raise ConfigurationError(
+                f"bw_factor must be in (0, 1], got {self.bw_factor}"
+            )
+
+
+@dataclass
+class FaultSchedule:
+    """A time-ordered sequence of typed fault events.
+
+    The serving loop walks the schedule with a cursor: each executed step
+    consumes every event whose ``at_s`` falls inside the step's window,
+    reacting per kind (retry, slow down, escalate).  Schedules are either
+    hand-built for tests or drawn by :meth:`generate` as independent
+    Poisson arrival processes per kind — fully determined by the seed.
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: e.at_s)
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def reset(self) -> None:
+        """Rewind the consumption cursor (for replaying the schedule)."""
+        self._cursor = 0
+
+    def pop_until(self, t_s: float) -> List[FaultEvent]:
+        """Consume and return every unconsumed event with ``at_s <= t_s``."""
+        taken: List[FaultEvent] = []
+        while self._cursor < len(self.events) and self.events[self._cursor].at_s <= t_s:
+            taken.append(self.events[self._cursor])
+            self._cursor += 1
+        return taken
+
+    def peek(self) -> Optional[FaultEvent]:
+        """The next unconsumed event, or None when drained."""
+        if self._cursor < len(self.events):
+            return self.events[self._cursor]
+        return None
+
+    @property
+    def remaining(self) -> int:
+        """Events not yet consumed."""
+        return len(self.events) - self._cursor
+
+    def counts(self) -> Tuple[int, int, int]:
+        """(transient, link_retrain, core_dead) event totals."""
+        kinds = [e.kind for e in self.events]
+        return (
+            kinds.count("transient"),
+            kinds.count("link_retrain"),
+            kinds.count("core_dead"),
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        horizon_s: float,
+        seed: int = 0,
+        transient_rate_hz: float = 0.0,
+        retrain_rate_hz: float = 0.0,
+        core_dead_rate_hz: float = 0.0,
+        retrain_duration_s: float = 5e-4,
+        retrain_bw_factor: float = 0.25,
+    ) -> "FaultSchedule":
+        """Draw a seeded schedule over ``[0, horizon_s)``.
+
+        Each fault kind arrives as an independent Poisson process with
+        the given rate (events per second of serving time); inter-arrival
+        gaps come from ``rng.expovariate``, so the whole schedule is a
+        pure function of the seed and the rates.
+        """
+        if horizon_s <= 0:
+            raise ConfigurationError("horizon_s must be positive")
+        for name, rate in (
+            ("transient_rate_hz", transient_rate_hz),
+            ("retrain_rate_hz", retrain_rate_hz),
+            ("core_dead_rate_hz", core_dead_rate_hz),
+        ):
+            if rate < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {rate}")
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+
+        def arrivals(rate_hz: float) -> List[float]:
+            times: List[float] = []
+            t = 0.0
+            while rate_hz > 0:
+                t += rng.expovariate(rate_hz)
+                if t >= horizon_s:
+                    break
+                times.append(t)
+            return times
+
+        for idx, t in enumerate(arrivals(transient_rate_hz)):
+            events.append(
+                FaultEvent(at_s=t, kind="transient", detail=f"transient#{idx}")
+            )
+        for idx, t in enumerate(arrivals(retrain_rate_hz)):
+            events.append(
+                FaultEvent(
+                    at_s=t,
+                    kind="link_retrain",
+                    duration_s=retrain_duration_s,
+                    bw_factor=retrain_bw_factor,
+                    detail=f"retrain#{idx}",
+                )
+            )
+        for idx, t in enumerate(arrivals(core_dead_rate_hz)):
+            events.append(
+                FaultEvent(at_s=t, kind="core_dead", detail=f"core_dead#{idx}")
+            )
+        return cls(events=events)

@@ -24,7 +24,20 @@ Conventions
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mesh.remap import DefectMap
 
 import numpy as np
 
@@ -44,13 +57,33 @@ class MeshMachine:
         device: PLMRDevice,
         enforce_memory: bool = True,
         enforce_routing: bool = False,
+        defects: Optional["DefectMap"] = None,
+        logical_shape: Optional[Tuple[int, int]] = None,
     ):
         self.device = device
-        self.topology = MeshTopology(device.mesh_width, device.mesh_height)
+        self.defects = defects
+        if defects is not None:
+            from repro.mesh.remap import build_remapped_topology
+
+            logical_w, logical_h = logical_shape or (None, None)
+            self.topology = build_remapped_topology(
+                device.mesh_width, device.mesh_height, defects,
+                logical_width=logical_w, logical_height=logical_h,
+            )
+        else:
+            if logical_shape is not None:
+                raise SimulationError(
+                    "logical_shape only applies to a defective fabric; "
+                    "pass defects= or use device.submesh()"
+                )
+            self.topology = MeshTopology(device.mesh_width, device.mesh_height)
         self.fabric = FabricModel(device, self.topology, enforce=enforce_routing)
         self.trace = Trace()
         self._enforce_memory = enforce_memory
         capacity = device.core_memory_bytes if enforce_memory else 2**62
+        # Cores are keyed by *logical* coordinate: on a remapped topology
+        # the kernels' dense (x, y) space survives untouched while every
+        # route below it pays physical hops.
         self.cores: Dict[Coord, Core] = {
             coord: Core(coord, capacity) for coord in self.topology.coords()
         }
@@ -203,6 +236,7 @@ class MeshMachine:
                     dsts=tuple(flow.dsts),
                     hops=hops,
                     nbytes=payload.nbytes,
+                    bw_factor=self.fabric.flow_bandwidth_factor(flow),
                 )
             )
             for idx, dst in enumerate(flow.dsts):

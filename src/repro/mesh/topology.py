@@ -94,6 +94,23 @@ class MeshTopology:
             raise PlacementError(f"column {x} outside mesh of width {self.width}")
         return [(x, y) for y in range(self.height)]
 
+    @property
+    def has_link_defects(self) -> bool:
+        """Whether any link is dead or degraded (dense meshes: never).
+
+        The fabric model checks this before pricing per-route bandwidth,
+        so pristine topologies skip the per-flow route walk entirely.
+        """
+        return False
+
+    def link_bandwidth_factor(self, a: Coord, b: Coord) -> float:
+        """Surviving bandwidth fraction of the link between ``a`` and ``b``.
+
+        Dense meshes are defect-free; :class:`repro.mesh.remap.RemappedTopology`
+        overrides this with the defect map's degraded-link table.
+        """
+        return 1.0
+
     def neighbours(self, coord: Coord) -> List[Coord]:
         """The 2-4 mesh neighbours of a core."""
         x, y = coord

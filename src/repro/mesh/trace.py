@@ -50,12 +50,21 @@ class FlowRecord:
 
     ``nbytes`` is the per-destination payload; a multicast delivers the
     same ``nbytes`` to every destination but occupies each link once.
+    ``bw_factor`` is the worst surviving bandwidth fraction along the
+    route (1.0 on a healthy fabric; < 1 when a degraded link throttles
+    the stream — see :mod:`repro.mesh.remap`).
     """
 
     src: Coord
     dsts: Tuple[Coord, ...]
     hops: int
     nbytes: int
+    bw_factor: float = 1.0
+
+    @property
+    def wire_bytes(self) -> float:
+        """Link-time-equivalent bytes: payload inflated by the slowdown."""
+        return self.nbytes / self.bw_factor
 
 
 def ingress_port(src: Coord, dst: Coord) -> Tuple[str, int]:
@@ -95,25 +104,28 @@ class CommRecord:
     group: int = -1
     seq: int = -1
     flows: Tuple[FlowRecord, ...] = ()
+    min_bw_factor: float = 1.0
 
     @property
-    def ingress_bottleneck_bytes(self) -> int:
-        """Bytes through the busiest receiving link of this phase.
+    def ingress_bottleneck_bytes(self) -> float:
+        """Link-time bytes through the busiest receiving link of this phase.
 
         This is the serialization term a cost model charges: concurrent
         flows entering one destination *on the same port* share its
-        ingress link (flows from opposite directions do not).  Falls back
+        ingress link (flows from opposite directions do not).  Payloads
+        are weighted by their route's bandwidth slowdown (a flow over a
+        half-rate link occupies its ingress twice as long).  Falls back
         to the largest per-flow payload when per-flow detail is absent
         (legacy traces).
         """
         if not self.flows:
             return self.max_payload_bytes
-        ingress: Dict[tuple, int] = defaultdict(int)
+        ingress: Dict[tuple, float] = defaultdict(float)
         for flow in self.flows:
             for dst in flow.dsts:
-                ingress[(dst, ingress_port(flow.src, dst))] += flow.nbytes
-        per_flow = max(flow.nbytes for flow in self.flows)
-        return max(max(ingress.values(), default=0), per_flow)
+                ingress[(dst, ingress_port(flow.src, dst))] += flow.wire_bytes
+        per_flow = max(flow.wire_bytes for flow in self.flows)
+        return max(max(ingress.values(), default=0.0), per_flow)
 
 
 @dataclass
@@ -222,6 +234,7 @@ class Trace:
         hops, per-destination bytes) used by trace replay.
         """
         phase, group, seq = self._tag(pattern)
+        flow_records = tuple(flows) if flows else ()
         self.comms.append(
             CommRecord(
                 step=step,
@@ -234,7 +247,10 @@ class Trace:
                 phase=phase,
                 group=group,
                 seq=seq,
-                flows=tuple(flows) if flows else (),
+                flows=flow_records,
+                min_bw_factor=min(
+                    (f.bw_factor for f in flow_records), default=1.0
+                ),
             )
         )
         for coord, colours in touched.items():

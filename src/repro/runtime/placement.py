@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.core.plmr import PLMRDevice
+from repro.errors import ConfigurationError
 from repro.llm.config import ModelConfig
 from repro.llm.tensor_layout import (
     TensorLayout,
@@ -93,6 +94,32 @@ def _trivial_maps():
     from repro.llm.tensor_layout import AxisMap
 
     return AxisMap.PARTITION_X, AxisMap.PARTITION_Y
+
+
+def region_reshard_cost(
+    model: ModelConfig, device: PLMRDevice, grid: int
+) -> KernelCost:
+    """Cycle cost of evacuating one decode region onto spare capacity.
+
+    When a core dies persistently, the runtime re-shards the region's
+    resident weights onto a spare row/column region (Cerebras-style yield
+    repair applied at runtime).  All ``grid`` rows stream their shards in
+    parallel, so the serialized payload per lane is ``weight_bytes /
+    grid``, travelling roughly one region width (``grid`` hops).  KV is
+    *not* moved — it is recomputed from the prompts (the serving layer
+    prices that separately), matching how wafer runtimes treat SRAM state
+    as disposable next to the NoC cost of moving it.
+    """
+    from repro.mesh.cost_model import CommPhase, estimate
+
+    if grid < 1:
+        raise ConfigurationError(f"grid must be positive, got {grid}")
+    phase = CommPhase(
+        label="reshard.weights",
+        hop_distance=float(grid),
+        payload_bytes=model.weight_bytes / grid,
+    )
+    return estimate(f"region_reshard[{grid}x{grid}]", device, [phase])
 
 
 def transposes_avoided_per_token(model: ModelConfig) -> int:

@@ -13,6 +13,7 @@ from repro.serving.admission import (
     backlog_tokens,
 )
 from repro.serving.chunked import WaferServer, compare_modes
+from repro.serving.health import FaultLogEntry, HealthMonitor
 from repro.serving.metrics import ServingMetrics, StepEvent, percentile
 from repro.serving.request import Request, RequestStats
 from repro.serving.scheduler import ContinuousBatchingServer, ServingReport
@@ -28,6 +29,8 @@ __all__ = [
     "ContinuousBatchingServer",
     "WaferServer",
     "compare_modes",
+    "FaultLogEntry",
+    "HealthMonitor",
     "AdmissionDecision",
     "SLOAdmission",
     "backlog_tokens",

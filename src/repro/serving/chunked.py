@@ -30,6 +30,25 @@ Scheduling policy, in priority order at every step boundary:
 4. if the fault injector kills the step, its time plus an exponential
    backoff elapses and nothing commits (retry-with-backoff); a chunked
    retry loses one chunk, an exclusive retry loses the whole block.
+
+Fault escalation (retry → remap → degrade), driven by the typed events
+of a :class:`~repro.mesh.faults.FaultSchedule`:
+
+* **transient** — the step in flight dies; retry with backoff, exactly
+  like a Bernoulli kill.  ``max_retries`` consecutive dead steps raise
+  :class:`~repro.errors.FaultEscalationError` — the failure process is
+  pathological, not noise.
+* **link_retrain** — the region keeps running at the event's surviving
+  bandwidth fraction for its duration; the current step stretches by the
+  excess, which counts as downtime but commits normally.
+* **core_dead** — no retry can succeed.  While spare regions remain the
+  server *remaps*: weights re-shard onto a spare
+  (:func:`~repro.runtime.placement.region_reshard_cost`) and every live
+  stream's KV is recomputed from its prompt (chunked prefill replay —
+  SRAM state is disposable next to the NoC cost of moving it).  With
+  spares exhausted the server *degrades*: the KV budget and admissible
+  batch shrink by one row's worth, live streams run to completion, and
+  waiting prompts that can never fit again are shed as rejected.
 """
 
 from __future__ import annotations
@@ -39,12 +58,18 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.plmr import PLMRDevice
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    FaultEscalationError,
+    SimulationError,
+)
 from repro.llm.config import ModelConfig
 from repro.llm.kvcache import KVTokenLedger, region_token_capacity
 from repro.llm.wafer_system import MAX_RESIDENT_CHUNK_TOKENS, WaferLLMSystem
-from repro.mesh.faults import FaultInjector
+from repro.mesh.faults import FaultEvent, FaultInjector, FaultSchedule
+from repro.runtime.placement import region_reshard_cost
 from repro.serving.admission import SLOAdmission, backlog_tokens
+from repro.serving.health import HealthMonitor
 from repro.serving.metrics import ServingMetrics, StepEvent
 from repro.serving.request import Request, RequestStats
 
@@ -101,6 +126,10 @@ class WaferServer:
         grid: Optional[int] = None,
         fault_injector: Optional[FaultInjector] = None,
         default_context_len: int = 4096,
+        fault_schedule: Optional[FaultSchedule] = None,
+        max_retries: int = MAX_CONSECUTIVE_RETRIES,
+        spare_regions: int = 1,
+        health: Optional[HealthMonitor] = None,
     ):
         if mode not in ("chunked", "exclusive"):
             raise ConfigurationError(f"unknown serving mode: {mode!r}")
@@ -125,8 +154,16 @@ class WaferServer:
                 f"one {default_context_len}-token stream; pass max_batch "
                 f"explicitly"
             )
+        if max_retries < 1:
+            raise ConfigurationError("max_retries must be >= 1")
+        if spare_regions < 0:
+            raise ConfigurationError("spare_regions must be >= 0")
         self.max_batch = max_batch
         self.faults = fault_injector or FaultInjector(0.0)
+        self.fault_schedule = fault_schedule
+        self.max_retries = max_retries
+        self.spare_regions = spare_regions
+        self.health = health
         chunk_cost = self.system.chunked_prefill_cost(
             model, chunk_tokens, self.grid
         )
@@ -213,6 +250,13 @@ class WaferServer:
         peak_batch = peak_kv = peak_queue = 0
         retries = preemptions = 0
         consecutive_failures = 0
+        max_batch = self.max_batch
+        spares_left = self.spare_regions
+        remaps = degradations = 0
+        health = self.health if self.health is not None else HealthMonitor()
+        schedule = self.fault_schedule
+        if schedule is not None:
+            schedule.reset()
 
         def admit_arrivals() -> None:
             while pending and pending[0].arrival_s <= now:
@@ -225,10 +269,38 @@ class WaferServer:
                 decision = self.admission.check(
                     request, max(now, request.arrival_s), backlog
                 )
-                if decision.admitted:
+                # A degraded region may no longer hold what the (static)
+                # admission budget was sized for — shed at the door.
+                if decision.admitted and (
+                    request.kv_tokens <= ledger.capacity_tokens
+                ):
                     waiting.append(_Job(request, stats[request.request_id]))
                 else:
                     rejected.append(request)
+
+        def live_jobs() -> List[_Job]:
+            jobs = list(decoding.values()) + list(decode_ready)
+            if current is not None:
+                jobs.append(current)
+            jobs.extend(j for j in waiting if j.kv_held)
+            return jobs
+
+        def kv_recompute_seconds() -> float:
+            """Recompute-from-prompt cost of every live stream's KV.
+
+            A core death loses the region's SRAM state; rebuilding the
+            KV caches means replaying each live context through chunked
+            prefill on the repaired region.
+            """
+            total = 0.0
+            for job in live_jobs():
+                if job.context <= 0:
+                    continue
+                chunks = math.ceil(job.context / self.chunk_tokens)
+                total += chunks * self.fused_step_seconds(
+                    0, job.context, self.chunk_tokens
+                )
+            return total
 
         while pending or waiting or current or decode_ready or decoding:
             admit_arrivals()
@@ -237,7 +309,7 @@ class WaferServer:
                 continue
 
             # Prefilled streams join the batch while it has room.
-            while decode_ready and len(decoding) < self.max_batch:
+            while decode_ready and len(decoding) < max_batch:
                 job = decode_ready.popleft()
                 job.stats.decode_start_s = now
                 decoding[job.request.request_id] = job
@@ -308,34 +380,110 @@ class WaferServer:
                     kind = "prefill"
             peak_batch = max(peak_batch, batch)
 
-            # Fault check: a killed step burns its time plus backoff and
-            # commits nothing.
+            # Fault check: typed schedule events striking this step's
+            # window, then the Bernoulli draw.  A killed step burns its
+            # time plus backoff and commits nothing.
             start = now
-            if self.faults.step_fails():
-                consecutive_failures += 1
-                if consecutive_failures > MAX_CONSECUTIVE_RETRIES:
-                    raise SimulationError(
-                        f"step failed {consecutive_failures} times in a row"
-                    )
-                retries += 1
+            struck: List[FaultEvent] = (
+                schedule.pop_until(start + step_s) if schedule else []
+            )
+            deaths = [e for e in struck if e.kind == "core_dead"]
+            retrains = [e for e in struck if e.kind == "link_retrain"]
+            transients = [e for e in struck if e.kind == "transient"]
+
+            # Link retrains stretch the step: the region runs at the
+            # event's surviving bandwidth for the retrain window, so the
+            # excess over nominal is pure downtime — but the step commits.
+            for event in retrains:
+                extra = event.duration_s * (1.0 / event.bw_factor - 1.0)
+                step_s += extra
+                health.record_fault(
+                    event.at_s, "link_retrain", "slowdown",
+                    downtime_s=extra, detail=event.detail,
+                )
+
+            def mark_killed() -> None:
                 if current is not None:
                     current.stats.retries += 1
                 for job in decoding.values():
                     job.stats.retries += 1
-                now = start + step_s + self.faults.backoff_s(
-                    consecutive_failures
-                )
+
+            def fault_event(kind: str, end_s: float) -> None:
                 events.append(StepEvent(
-                    start_s=start, end_s=now, kind="retry",
+                    start_s=start, end_s=end_s, kind=kind,
                     decode_batch=batch, chunk_tokens=chunk,
                     kv_tokens=ledger.reserved_tokens,
                     queue_depth=len(waiting) + len(decode_ready)
                     + (1 if current else 0),
                 ))
+
+            if deaths:
+                # Persistent core death: no retry can succeed on this
+                # region.  Remap onto a spare while one remains; degrade
+                # capacity in place once spares are exhausted.  Either
+                # way the killed step's body, the weight re-shard, and
+                # the KV recompute-from-prompt are downtime.
+                mark_killed()
+                reshard_s = region_reshard_cost(
+                    self.model, self.device, self.grid
+                ).seconds
+                recovery_s = step_s + reshard_s + kv_recompute_seconds()
+                if spares_left > 0:
+                    spares_left -= 1
+                    remaps += 1
+                    action = "remap"
+                else:
+                    degradations += 1
+                    action = "degrade"
+                    row_fraction = (self.grid - 1) / self.grid
+                    ledger.resize(int(ledger.capacity_tokens * row_fraction))
+                    max_batch = max(1, int(max_batch * row_fraction))
+                    shed = [
+                        j for j in waiting
+                        if not j.kv_held
+                        and j.request.kv_tokens > ledger.capacity_tokens
+                    ]
+                    for job in shed:
+                        waiting.remove(job)
+                        rejected.append(job.request)
+                for event in deaths:
+                    health.record_fault(
+                        event.at_s, "core_dead", action,
+                        downtime_s=recovery_s / len(deaths),
+                        detail=event.detail,
+                    )
+                consecutive_failures = 0
+                now = start + recovery_s
+                fault_event(action, now)
+                peak_queue = max(peak_queue, events[-1].queue_depth)
+                continue
+
+            bernoulli_killed = self.faults.step_fails()
+            if transients or bernoulli_killed:
+                consecutive_failures += 1
+                if consecutive_failures > self.max_retries:
+                    raise FaultEscalationError(
+                        consecutive_failures, self.max_retries
+                    )
+                retries += 1
+                mark_killed()
+                backoff_s = self.faults.backoff_s(consecutive_failures)
+                now = start + step_s + backoff_s
+                health.record_fault(
+                    transients[0].at_s if transients else start,
+                    "transient", "retry",
+                    downtime_s=step_s + backoff_s,
+                    detail=(
+                        transients[0].detail if transients
+                        else "bernoulli step kill"
+                    ),
+                )
+                fault_event("retry", now)
                 peak_queue = max(peak_queue, events[-1].queue_depth)
                 continue
             consecutive_failures = 0
             now = start + step_s
+            health.observe_step(start, step_s, kind=kind)
 
             # Commit decode progress (stalls during an exclusive block).
             if not exclusive_block and batch:
@@ -387,6 +535,10 @@ class WaferServer:
             retries=retries,
             preemptions=preemptions,
             events=events,
+            remaps=remaps,
+            degradations=degradations,
+            downtime_s=health.downtime_s,
+            fault_log=list(health.log),
         )
 
 

@@ -1,0 +1,138 @@
+"""Health observability for the serving loop.
+
+A wafer serving a live request stream has no operator watching each
+step; the runtime itself must notice when steps stop landing on time and
+must keep an auditable record of every fault it absorbed.  This module
+provides both halves:
+
+* :class:`HealthMonitor` — watches committed step durations against a
+  watchdog threshold (a multiple of the running median, armed once
+  enough healthy samples exist) and accumulates the fault log plus the
+  downtime ledger that :class:`~repro.serving.metrics.ServingMetrics`
+  turns into availability and MTTR;
+* :class:`FaultLogEntry` — one absorbed incident: what struck, what the
+  escalation policy did about it, and how much wall-clock it cost.
+
+Downtime here means *capacity-useless* time: retried step bodies,
+backoff pauses, bandwidth lost to link retrains, and remap/re-shard
+windows.  Time spent productively (even degraded) is uptime.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+
+#: Actions the escalation policy can report against a fault.
+FAULT_ACTIONS = ("retry", "slowdown", "remap", "degrade", "watchdog")
+
+
+@dataclass(frozen=True)
+class FaultLogEntry:
+    """One absorbed fault incident in the serving timeline."""
+
+    at_s: float
+    kind: str       # transient | link_retrain | core_dead | watchdog
+    action: str     # retry | slowdown | remap | degrade | watchdog
+    downtime_s: float = 0.0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; "
+                f"expected one of {FAULT_ACTIONS}"
+            )
+        if self.downtime_s < 0:
+            raise ConfigurationError("downtime must be >= 0")
+
+
+class HealthMonitor:
+    """Step watchdog plus the fault/downtime ledger of one serving run.
+
+    ``watchdog_factor`` arms a soft alarm: once ``min_samples`` healthy
+    step durations are on record *for that step kind*, any step slower
+    than ``factor x median`` of its kind trips the watchdog and is
+    logged (observability only — the escalation policy acts on typed
+    fault events, not on the alarm).  Baselines are kept per step kind
+    because a chunked-prefill loop legitimately mixes prefill blocks and
+    decode steps whose durations differ by orders of magnitude.
+    """
+
+    def __init__(self, watchdog_factor: float = 20.0, min_samples: int = 8):
+        if watchdog_factor <= 1.0:
+            raise ConfigurationError("watchdog_factor must be > 1")
+        if min_samples < 1:
+            raise ConfigurationError("min_samples must be >= 1")
+        self.watchdog_factor = watchdog_factor
+        self.min_samples = min_samples
+        self.log: List[FaultLogEntry] = []
+        self.watchdog_trips = 0
+        self.downtime_s = 0.0
+        self._durations: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    def observe_step(
+        self, at_s: float, duration_s: float, kind: str = "step"
+    ) -> bool:
+        """Feed one committed step; returns True when the watchdog trips."""
+        baseline = self._durations.setdefault(kind, [])
+        armed = len(baseline) >= self.min_samples
+        tripped = False
+        if armed:
+            threshold = self.watchdog_factor * statistics.median(baseline)
+            if duration_s > threshold:
+                tripped = True
+                self.watchdog_trips += 1
+                self.log.append(FaultLogEntry(
+                    at_s=at_s, kind="watchdog", action="watchdog",
+                    detail=(
+                        f"{kind} step took {duration_s:.3e}s against a "
+                        f"{threshold:.3e}s watchdog threshold"
+                    ),
+                ))
+        # Tripped steps stay out of the baseline so one pathological step
+        # cannot stretch the threshold for the next.
+        if not tripped:
+            baseline.append(duration_s)
+        return tripped
+
+    def record_fault(
+        self,
+        at_s: float,
+        kind: str,
+        action: str,
+        downtime_s: float = 0.0,
+        detail: str = "",
+    ) -> FaultLogEntry:
+        """Log one absorbed incident and account its downtime."""
+        entry = FaultLogEntry(
+            at_s=at_s, kind=kind, action=action,
+            downtime_s=downtime_s, detail=detail,
+        )
+        self.log.append(entry)
+        self.downtime_s += downtime_s
+        return entry
+
+    # ------------------------------------------------------------------
+    @property
+    def incidents(self) -> int:
+        """Fault incidents that cost wall-clock time."""
+        return sum(1 for e in self.log if e.downtime_s > 0)
+
+    @property
+    def mttr_s(self) -> float:
+        """Mean time-to-recovery: downtime per time-costing incident."""
+        if self.incidents == 0:
+            return 0.0
+        return self.downtime_s / self.incidents
+
+    def action_counts(self) -> Dict[str, int]:
+        """How many incidents each escalation action absorbed."""
+        counts: Dict[str, int] = {}
+        for entry in self.log:
+            counts[entry.action] = counts.get(entry.action, 0) + 1
+        return counts

@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+from repro.serving.health import FaultLogEntry
 from repro.serving.request import Request, RequestStats
 
 
@@ -40,9 +41,13 @@ class StepEvent:
 
     ``kind`` is ``"decode"`` (pure batched decode), ``"fused"`` (decode +
     piggybacked prefill chunk), ``"prefill"`` (chunk with no live decode
-    streams, or an exclusive prefill block), or ``"retry"`` (a step the
+    streams, or an exclusive prefill block), ``"retry"`` (a step the
     fault injector killed; its time and backoff elapsed, nothing
-    committed).
+    committed), ``"remap"`` (a persistent core death absorbed by
+    re-sharding onto a spare region; the window covers the killed step
+    plus re-shard and KV-recompute time), or ``"degrade"`` (a persistent
+    core death with no spare left; capacity shrank and the killed step's
+    time elapsed).
     """
 
     start_s: float
@@ -74,6 +79,10 @@ class ServingMetrics:
     retries: int = 0
     preemptions: int = 0
     events: List[StepEvent] = field(default_factory=list)
+    remaps: int = 0
+    degradations: int = 0
+    downtime_s: float = 0.0
+    fault_log: List[FaultLogEntry] = field(default_factory=list)
 
     # -- conservation ---------------------------------------------------
     @property
@@ -149,6 +158,32 @@ class ServingMetrics:
             return 0.0
         return sum(1 for s in self.completed if s.met_slo) / len(self.completed)
 
+    # -- fault tolerance ------------------------------------------------
+    @property
+    def availability(self) -> float:
+        """Fraction of the makespan spent doing useful (non-fault) work.
+
+        Downtime covers retried step bodies, backoff pauses, bandwidth
+        lost to link retrains, and remap/re-shard windows; a run with no
+        faults reports 1.0.
+        """
+        if self.makespan_s <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.downtime_s / self.makespan_s)
+
+    @property
+    def mttr_s(self) -> float:
+        """Mean time-to-recovery over incidents that cost wall-clock."""
+        incidents = sum(1 for e in self.fault_log if e.downtime_s > 0)
+        if incidents == 0:
+            return 0.0
+        return self.downtime_s / incidents
+
+    @property
+    def fault_events(self) -> int:
+        """Total incidents the escalation policy absorbed."""
+        return len(self.fault_log)
+
     # -- occupancy ------------------------------------------------------
     @property
     def peak_kv_fraction(self) -> float:
@@ -175,5 +210,6 @@ class ServingMetrics:
         """
         return sum(
             e.duration_s for e in self.events
-            if e.decode_batch > 0 and e.kind in ("prefill", "retry")
+            if e.decode_batch > 0
+            and e.kind in ("prefill", "retry", "remap", "degrade")
         )

@@ -128,3 +128,32 @@ class TestProfile:
     def test_unknown_preset(self, capsys):
         assert main(["profile", "--kernel", "meshgemm", "--grid", "4",
                      "--device", "nope"]) == 2
+
+
+class TestFaults:
+    def test_smoke_sweep_prints_availability_table(self, capsys):
+        assert main(["faults", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fault sweep" in out and "availability" in out
+        assert "baseline" in out and "link retrains" in out
+        assert "core death + spare" in out
+        assert "core deaths, no spares" in out
+        # Baseline row must report perfect availability.
+        baseline = next(l for l in out.splitlines()
+                        if l.startswith("baseline"))
+        assert "1.0000" in baseline
+
+    def test_smoke_sweep_is_deterministic(self, capsys):
+        assert main(["faults", "--smoke"]) == 0
+        first = capsys.readouterr().out
+        assert main(["faults", "--smoke"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_model_exits_2(self, capsys):
+        assert main(["faults", "--smoke", "--model", "gpt-7"]) == 2
+
+    def test_serve_escalation_flags(self, capsys):
+        assert main(["serve", "--model", "llama3-8b", "--requests", "3",
+                     "--batch", "2", "--seq-in", "128", "--seq-out", "16",
+                     "--max-retries", "4", "--spares", "2"]) == 0
+        assert "throughput" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Property tests: every kernel is bit-exact on a remapped logical mesh.
+
+The remap contract is total transparency: a kernel running on a dense
+logical mesh carved out of a defective fabric (dead cores skipped
+eastward, overloaded rows replaced by spares, dead links detoured) must
+produce the *identical* bits it produces on a pristine mesh of the same
+logical shape.  Operands are integer-valued floats from seeded stdlib
+``random`` streams so every summation order yields the same float —
+assertions are ``np.array_equal``, never ``allclose``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.collectives import line_allgather, ring_allreduce
+from repro.core.device_presets import TINY_MESH
+from repro.gemm import MeshGEMM
+from repro.gemv import MeshGEMV
+from repro.mesh.machine import MeshMachine
+from repro.mesh.remap import DefectMap, normalize_link
+
+
+def _int_matrix(rnd: random.Random, rows: int, cols: int) -> np.ndarray:
+    data = [[float(rnd.randint(-8, 8)) for _ in range(cols)]
+            for _ in range(rows)]
+    return np.array(data, dtype=np.float64)
+
+
+def _defective_machine(grid: int, seed: int) -> MeshMachine:
+    """A logical ``grid x grid`` mesh over a fabric with seeded defects.
+
+    The physical fabric gets one spare column and one spare row; the
+    defect map kills one core per sampled row (forcing eastward skips),
+    overloads one row (forcing a spare-row skip) on odd seeds, and kills
+    one interior link (forcing a detour).
+    """
+    rnd = random.Random(9000 + seed)
+    pw, ph = grid + 1, grid + 1
+    dead_cores = {(rnd.randrange(pw), rnd.randrange(ph))}
+    if seed % 2:
+        # Overload one row with two dead cores: it cannot host the
+        # logical width, so the spare row takes over.
+        y = rnd.randrange(ph)
+        dead_cores.update({(0, y), (2 % pw, y)})
+    dead_links = frozenset({
+        normalize_link((grid // 2, grid // 2), (grid // 2 + 1, grid // 2)),
+    })
+    defects = DefectMap(
+        pw, ph,
+        dead_cores=frozenset(dead_cores),
+        dead_links=dead_links,
+        degraded_links={normalize_link((0, 0), (0, 1)): 0.5},
+    )
+    device = TINY_MESH.submesh(pw, ph)
+    return MeshMachine(device, defects=defects, logical_shape=(grid, grid))
+
+
+class TestGEMMOnRemappedMesh:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bit_exact_vs_dense_mesh(self, seed):
+        rnd = random.Random(100 + seed)
+        grid = rnd.choice([2, 3, 4, 5])  # odd and even grids
+        tm, tk, tn = (rnd.randint(1, 3) for _ in range(3))
+        a = _int_matrix(rnd, grid * tm, grid * tk)
+        b = _int_matrix(rnd, grid * tk, grid * tn)
+        dense = MeshMachine(TINY_MESH.submesh(grid, grid))
+        remapped = _defective_machine(grid, seed)
+        expected = MeshGEMM.run(dense, a, b)
+        actual = MeshGEMM.run(remapped, a, b)
+        assert np.array_equal(actual, expected)
+        assert np.array_equal(actual, a @ b)
+
+    def test_remapped_trace_pays_more_hops(self):
+        rnd = random.Random(77)
+        grid = 4
+        a = _int_matrix(rnd, grid * 2, grid * 2)
+        b = _int_matrix(rnd, grid * 2, grid * 2)
+        dense = MeshMachine(TINY_MESH.submesh(grid, grid))
+        remapped = _defective_machine(grid, 1)
+        MeshGEMM.run(dense, a, b)
+        MeshGEMM.run(remapped, a, b)
+        dense_hops = sum(c.total_hops for c in dense.trace.comms)
+        remapped_hops = sum(c.total_hops for c in remapped.trace.comms)
+        assert remapped_hops > dense_hops
+
+
+class TestGEMVOnRemappedMesh:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("broadcast", [False, True])
+    def test_bit_exact_vs_dense_mesh(self, seed, broadcast):
+        rnd = random.Random(300 + seed)
+        grid = rnd.choice([2, 3, 4, 5])
+        tk, tn = rnd.randint(1, 3), rnd.randint(1, 3)
+        a = _int_matrix(rnd, 1, grid * tk)
+        b = _int_matrix(rnd, grid * tk, grid * tn)
+        dense = MeshMachine(TINY_MESH.submesh(grid, grid))
+        remapped = _defective_machine(grid, seed)
+        expected = MeshGEMV.run(dense, a, b, broadcast=broadcast)
+        actual = MeshGEMV.run(remapped, a, b, broadcast=broadcast)
+        assert np.array_equal(actual, expected)
+        assert np.array_equal(actual, (a @ b)[0])
+
+
+class TestCollectivesOnRemappedMesh:
+    @pytest.mark.parametrize("grid", [3, 4, 5])
+    def test_ring_allreduce_bit_exact(self, grid):
+        rnd = random.Random(500 + grid)
+        dense = MeshMachine(TINY_MESH.submesh(grid, grid))
+        remapped = _defective_machine(grid, grid)
+        for machine in (dense, remapped):
+            for idx, coord in enumerate(machine.topology.coords()):
+                rnd_core = random.Random(600 + idx)
+                machine.place(
+                    "v", coord,
+                    np.array([float(rnd_core.randint(-8, 8))
+                              for _ in range(grid * 2)]),
+                )
+            lines = [machine.topology.row(y) for y in range(grid)]
+            ring_allreduce(machine, lines, "v")
+        for coord in dense.topology.coords():
+            assert np.array_equal(
+                remapped.core(coord).load("v"), dense.core(coord).load("v")
+            )
+
+    @pytest.mark.parametrize("grid", [2, 3, 4])
+    def test_line_allgather_bit_exact(self, grid):
+        dense = MeshMachine(TINY_MESH.submesh(grid, grid))
+        remapped = _defective_machine(grid, grid + 1)
+        for machine in (dense, remapped):
+            for idx, coord in enumerate(machine.topology.coords()):
+                machine.place("t", coord, np.full(3, float(idx)))
+            lines = [machine.topology.row(y) for y in range(grid)]
+            line_allgather(machine, lines, "t", "t.g")
+        for coord in dense.topology.coords():
+            for i in range(grid):
+                assert np.array_equal(
+                    remapped.core(coord).load(f"t.g.{i}"),
+                    dense.core(coord).load(f"t.g.{i}"),
+                )
