@@ -1,0 +1,39 @@
+"""PLMR conformance checking: static lint rules + dynamic trace sanitizer.
+
+Two sides, one currency (:class:`~repro.analysis.findings.Finding`):
+
+* :mod:`repro.analysis.lint` — AST-based pluggable rules over the
+  source tree (raw trace recording, unseeded RNG, non-neighbour literal
+  flows, bare ``advance_step``), with suppression comments and a
+  baseline file;
+* :mod:`repro.analysis.sanitize` — replays any executed
+  :class:`~repro.mesh.trace.Trace` and flags hop-bound breaches, memory
+  capacity overruns, routing fan-in, unregistered patterns, barrier
+  hazards, and cyclic-wait deadlock candidates.
+
+``repro check`` (see :mod:`repro.cli`) wires both over the kernel zoo.
+"""
+
+from repro.analysis.checker import CheckReport, run_check
+from repro.analysis.findings import Finding, render_findings
+from repro.analysis.sanitize import (
+    SanitizePolicy,
+    SanitizeReport,
+    physical_shift_bound,
+    policy_for_machine,
+    sanitize_machine,
+    sanitize_trace,
+)
+
+__all__ = [
+    "CheckReport",
+    "Finding",
+    "SanitizePolicy",
+    "SanitizeReport",
+    "physical_shift_bound",
+    "policy_for_machine",
+    "render_findings",
+    "run_check",
+    "sanitize_machine",
+    "sanitize_trace",
+]

@@ -1,0 +1,95 @@
+"""Orchestration for ``repro check``: run the lint, run the sanitizer,
+merge the findings into one report.
+
+The lint side walks ``src/repro`` with every registered AST rule and
+subtracts the baseline; the sanitize side executes the clean kernel
+suite (plus the attention path and remapped variants) and checks each
+trace against its machine's PLMR limits.  ``CheckReport.ok`` is the
+``--strict`` exit criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.lint.baseline import (
+    BASELINE_PATH,
+    apply_baseline,
+    load_baseline,
+)
+from repro.analysis.lint.engine import SOURCE_ROOT, lint_tree
+
+
+@dataclass
+class CheckReport:
+    """Combined outcome of one ``repro check`` invocation."""
+
+    lint_findings: List[Finding] = field(default_factory=list)
+    sanitize_findings: List[Finding] = field(default_factory=list)
+    kernels_checked: List[str] = field(default_factory=list)
+    baselined: int = 0
+
+    @property
+    def findings(self) -> List[Finding]:
+        return [*self.lint_findings, *self.sanitize_findings]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "lint": [f.to_dict() for f in self.lint_findings],
+            "sanitize": [f.to_dict() for f in self.sanitize_findings],
+            "kernels_checked": list(self.kernels_checked),
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        lines: List[str] = []
+        lines.append(
+            f"lint: {len(self.lint_findings)} finding(s)"
+            + (f" ({self.baselined} baselined)" if self.baselined else "")
+        )
+        lines.extend("  " + f.render() for f in self.lint_findings)
+        lines.append(
+            f"sanitize: {len(self.sanitize_findings)} finding(s) over "
+            f"{len(self.kernels_checked)} trace(s)"
+        )
+        lines.extend("  " + f.render() for f in self.sanitize_findings)
+        lines.append("check: " + ("OK" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def run_check(
+    lint: bool = True,
+    sanitize: bool = True,
+    grid: int = 4,
+    kernels: Optional[List[str]] = None,
+    remapped: bool = True,
+    source_root: Path = SOURCE_ROOT,
+    baseline_path: Path = BASELINE_PATH,
+) -> CheckReport:
+    """Run the requested sides of the conformance check."""
+    report = CheckReport()
+    if lint:
+        raw = lint_tree(source_root)
+        kept = apply_baseline(raw, load_baseline(baseline_path))
+        report.lint_findings = kept
+        report.baselined = len(raw) - len(kept)
+    if sanitize:
+        from repro.analysis.kernels import run_kernel_checks
+
+        sanitize_reports = run_kernel_checks(
+            grid=grid,
+            kernels=kernels,
+            remapped=("meshgemm", "meshgemv") if remapped else (),
+        )
+        for sub in sanitize_reports:
+            report.kernels_checked.append(sub.subject)
+            report.sanitize_findings.extend(sub.findings)
+    return report

@@ -1,0 +1,49 @@
+"""The shared currency of the analysis subsystem: the :class:`Finding`.
+
+Both sides of the PLMR conformance checker — the AST lint rules
+(:mod:`repro.analysis.lint`) and the dynamic trace sanitizer
+(:mod:`repro.analysis.sanitize`) — emit the same record type, so the
+``repro check`` CLI can merge, render, and serialize them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One conformance problem, from either the lint or the sanitizer.
+
+    ``rule`` is the stable identifier (``raw-trace-record``,
+    ``hop-bound``, ...) that suppressions and baselines key on.  ``path``
+    / ``line`` locate a static finding in source; dynamic findings use
+    ``subject`` instead (the kernel or trace label the violation was
+    observed in).
+    """
+
+    rule: str
+    message: str
+    path: Optional[str] = None
+    line: Optional[int] = None
+    subject: Optional[str] = None
+    severity: str = "error"
+    source: str = "lint"  # "lint" | "sanitize"
+
+    def render(self) -> str:
+        """One human-readable report line."""
+        if self.path is not None:
+            where = self.path if self.line is None else f"{self.path}:{self.line}"
+        else:
+            where = self.subject or "<trace>"
+        return f"{where}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (``None`` fields dropped)."""
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+
+def render_findings(findings: List[Finding]) -> str:
+    """Render a list of findings, one per line (empty string when clean)."""
+    return "\n".join(f.render() for f in findings)

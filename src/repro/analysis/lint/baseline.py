@@ -1,0 +1,74 @@
+"""Baseline support: adopt the lint without fixing history first.
+
+A baseline file records fingerprints of known, accepted findings so
+``repro check`` only fails on *new* violations.  Fingerprints hash the
+rule id, the repo-relative path, and the normalized source line — not
+the line *number* — so unrelated edits above a baselined finding do not
+invalidate it, while any change to the offending line itself surfaces
+the finding again.
+
+The repo keeps its baseline at ``tools/lint_baseline.json`` (empty: the
+tree lints clean); ``repro check --update-baseline`` rewrites it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.lint.engine import REPO_ROOT
+
+BASELINE_PATH = REPO_ROOT / "tools" / "lint_baseline.json"
+BASELINE_VERSION = 1
+
+
+def _context_line(finding: Finding) -> str:
+    """The normalized source line a finding points at ('' when unknown)."""
+    if finding.path is None or finding.line is None:
+        return ""
+    path = REPO_ROOT / finding.path
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        return " ".join(lines[finding.line - 1].split())
+    except (OSError, IndexError):
+        return ""
+
+
+def fingerprint(finding: Finding, context: Optional[str] = None) -> str:
+    """Stable identity of a finding: sha1 of rule | path | source line."""
+    if context is None:
+        context = _context_line(finding)
+    payload = f"{finding.rule}|{finding.path or ''}|{context}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> Set[str]:
+    """Fingerprints recorded in the baseline file (empty when absent)."""
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return set(data.get("fingerprints", []))
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Set[str]
+) -> List[Finding]:
+    """Drop findings whose fingerprint is baselined."""
+    if not baseline:
+        return list(findings)
+    return [f for f in findings if fingerprint(f) not in baseline]
+
+
+def write_baseline(
+    findings: List[Finding], path: Path = BASELINE_PATH
+) -> Dict[str, object]:
+    """Record the given findings as the new accepted baseline."""
+    data: Dict[str, object] = {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted({fingerprint(f) for f in findings}),
+    }
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return data

@@ -1,0 +1,175 @@
+"""AST-based pluggable lint engine for the repro source tree.
+
+Rules subclass :class:`LintRule` and register through
+:func:`register_rule`; each receives the parsed module, its source text,
+and a repo-relative path, and yields :class:`~repro.analysis.findings.Finding`
+objects.  Compared with the regex lint this replaces, operating on the
+AST means string literals, comments, and docstrings can never false-
+positive — only real call sites are visited.
+
+Suppression
+-----------
+A finding is suppressed by a comment on the offending line::
+
+    machine.advance_step()  # plmr: allow=bare-advance-step
+
+``allow=`` takes a comma-separated list of rule ids or ``*``.  Comments
+are read with :mod:`tokenize`, so suppressions inside strings do not
+count.  Persistent exceptions belong in the baseline file instead
+(:mod:`repro.analysis.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+from repro.analysis.findings import Finding
+
+REPO_ROOT = Path(__file__).resolve().parents[4]
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+_ALLOW_COMMENT = re.compile(r"#\s*plmr:\s*allow=([\w\-*,\s]+)")
+
+
+class LintRule:
+    """Base class for one lint rule.
+
+    Subclasses set ``rule_id`` / ``description`` and implement
+    :meth:`check`.  ``paths`` may restrict the rule to path fragments
+    (relative, ``/``-separated); empty means every file.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def applies_to(self, rel_path: str) -> bool:
+        """Whether this rule runs on the file at ``rel_path``."""
+        return True
+
+    def check(
+        self, tree: ast.AST, rel_path: str, source: str
+    ) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+    def finding(self, rel_path: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at an AST node."""
+        return Finding(
+            rule=self.rule_id,
+            message=message,
+            path=rel_path,
+            line=getattr(node, "lineno", None),
+            source="lint",
+        )
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must set rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate lint rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[LintRule]:
+    """Fresh instances of every registered rule, import side effects included."""
+    # Importing the rules module populates the registry.
+    from repro.analysis.lint import rules as _rules  # noqa: F401
+
+    return [cls() for cls in _REGISTRY.values()]
+
+
+def rule_ids() -> List[str]:
+    """Stable list of registered rule ids."""
+    from repro.analysis.lint import rules as _rules  # noqa: F401
+
+    return list(_REGISTRY)
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids allowed by a ``plmr: allow=`` comment."""
+    allowed: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_COMMENT.search(tok.string)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",")}
+                allowed.setdefault(tok.start[0], set()).update(ids - {""})
+    except tokenize.TokenError:  # pragma: no cover - malformed source
+        pass
+    return allowed
+
+
+def _is_suppressed(finding: Finding, allowed: Dict[int, Set[str]]) -> bool:
+    if finding.line is None:
+        return False
+    ids = allowed.get(finding.line)
+    return bool(ids) and ("*" in ids or finding.rule in ids)
+
+
+def lint_source(
+    source: str,
+    rel_path: str,
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Finding]:
+    """Lint one module given as text; returns unsuppressed findings."""
+    if rules is None:
+        rules = all_rules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                message=f"cannot parse: {exc.msg}",
+                path=rel_path,
+                line=exc.lineno,
+                source="lint",
+            )
+        ]
+    allowed = _suppressions(source)
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(rel_path):
+            continue
+        for finding in rule.check(tree, rel_path, source):
+            if not _is_suppressed(finding, allowed):
+                findings.append(finding)
+    return findings
+
+
+def lint_file(
+    path: Path, rules: Optional[Sequence[LintRule]] = None
+) -> List[Finding]:
+    """Lint one file on disk (path reported relative to the repo root)."""
+    try:
+        rel = str(path.resolve().relative_to(REPO_ROOT))
+    except ValueError:
+        rel = str(path)
+    return lint_source(path.read_text(encoding="utf-8"), rel, rules)
+
+
+def lint_tree(
+    root: Path = SOURCE_ROOT,
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Finding]:
+    """Lint every ``*.py`` under ``root``, in sorted path order."""
+    if rules is None:
+        rules = all_rules()
+    findings: List[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        findings.extend(lint_file(path, rules))
+    return findings

@@ -1,0 +1,354 @@
+"""Dynamic trace sanitizer (side 2 of the PLMR checker).
+
+Replays a :class:`~repro.mesh.trace.Trace` phase stream and flags PLMR
+violations the type system cannot catch:
+
+* ``hop-bound`` — a shift-pattern flow travelled more hops than the
+  INTERLEAVE bound allows (L);
+* ``memory-capacity`` — a core's resident high-water exceeded the
+  device's per-core SRAM budget (M);
+* ``routing-fanin`` — a core participates in more route colours than
+  ``max_paths_per_core`` (R);
+* ``unregistered-pattern`` — a traced pattern never went through
+  ``FabricModel.register()``, so the lazy bandwidth/paths accounting
+  silently missed it;
+* ``barrier-hazard`` — inside an ``overlap`` phase group, a compute
+  consumed a tile a flow delivered earlier in the same group with no
+  barrier in between (the comm producing an input cannot overlap the
+  compute reading it);
+* ``deadlock-cycle`` — separate communication records in one overlap
+  group form a cyclic read-after-write dependency (cyclic wait): each
+  record's source tile is produced by the other, so neither transfer can
+  start first.  A ring exchange issued as *one* ``communicate()`` call
+  is sanctioned — the machine reads all sources before writing — which
+  is exactly why split-up rings are a deadlock candidate.
+
+On a remapped fabric (:class:`~repro.mesh.remap.RemappedTopology`) the
+hop bound is widened to the worst *physical* distance between cores that
+are logical neighbours within the bound — detours around dead links are
+legitimate, teleporting across the wafer is not; see
+:func:`physical_shift_bound`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.mesh.topology import Coord, MeshTopology
+from repro.mesh.trace import (
+    BarrierRecord,
+    CommRecord,
+    ComputeRecord,
+    Trace,
+)
+
+#: Comm patterns treated as cyclic shifts for the hop-bound check.
+#: Alignment/placement phases legitimately cross the mesh (grid-1 hops
+#: on Cannon-style skews), so the L bound only binds true shift steps.
+DEFAULT_SHIFT_PATTERN = r"shift|ring|rot"
+
+
+@dataclass
+class SanitizePolicy:
+    """Limits the sanitizer enforces over one trace.
+
+    ``None`` limits disable the corresponding check; callers usually get
+    a fully-populated policy from :func:`policy_for_machine`.
+    ``registered_patterns=None`` falls back to the colours the trace
+    itself forwarded from the fabric (sufficient for hand-built traces).
+    """
+
+    shift_hop_bound: int = 2
+    shift_pattern: str = DEFAULT_SHIFT_PATTERN
+    core_memory_bytes: Optional[int] = None
+    max_paths_per_core: Optional[int] = None
+    registered_patterns: Optional[Set[str]] = None
+    check_registration: bool = True
+
+
+@dataclass
+class SanitizeReport:
+    """Findings of one sanitizer pass over one trace."""
+
+    subject: str
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        if self.ok:
+            return f"{self.subject}: clean"
+        lines = [f.render() for f in self.findings]
+        return "\n".join(lines)
+
+
+def _finding(rule: str, subject: str, message: str) -> Finding:
+    return Finding(rule=rule, message=message, subject=subject, source="sanitize")
+
+
+# ----------------------------------------------------------------------
+# individual checks
+# ----------------------------------------------------------------------
+
+def _check_hop_bounds(
+    trace: Trace, policy: SanitizePolicy, subject: str
+) -> List[Finding]:
+    pattern_re = re.compile(policy.shift_pattern, re.IGNORECASE)
+    findings: List[Finding] = []
+    for comm in trace.comms:
+        if not pattern_re.search(comm.pattern):
+            continue
+        if comm.flows:
+            offenders = [f for f in comm.flows if f.hops > policy.shift_hop_bound]
+            for flow in offenders:
+                findings.append(_finding(
+                    "hop-bound", subject,
+                    f"shift pattern {comm.pattern!r} moves "
+                    f"{flow.src}->{flow.dsts[0] if flow.dsts else '?'} over "
+                    f"{flow.hops} hops (bound {policy.shift_hop_bound}) — "
+                    "INTERLEAVE placement keeps every cyclic shift local",
+                ))
+        elif comm.max_hops > policy.shift_hop_bound:
+            findings.append(_finding(
+                "hop-bound", subject,
+                f"shift pattern {comm.pattern!r} reaches {comm.max_hops} hops "
+                f"(bound {policy.shift_hop_bound})",
+            ))
+    return findings
+
+
+def _check_memory(
+    trace: Trace, policy: SanitizePolicy, subject: str
+) -> List[Finding]:
+    limit = policy.core_memory_bytes
+    if limit is None:
+        return []
+    findings: List[Finding] = []
+    if trace.core_peak_bytes:
+        for coord in sorted(trace.core_peak_bytes):
+            peak = trace.core_peak_bytes[coord]
+            if peak > limit:
+                findings.append(_finding(
+                    "memory-capacity", subject,
+                    f"core {coord} peaked at {peak} resident bytes "
+                    f"(budget {limit}) — the M property is per-core SRAM",
+                ))
+    elif trace.peak_memory_bytes > limit:
+        findings.append(_finding(
+            "memory-capacity", subject,
+            f"peak resident memory {trace.peak_memory_bytes} bytes exceeds "
+            f"the per-core budget {limit}",
+        ))
+    return findings
+
+
+def _check_fanin(
+    trace: Trace, policy: SanitizePolicy, subject: str
+) -> List[Finding]:
+    limit = policy.max_paths_per_core
+    if limit is None:
+        return []
+    findings: List[Finding] = []
+    for coord, count in sorted(trace.paths_map().items()):
+        if count > limit:
+            findings.append(_finding(
+                "routing-fanin", subject,
+                f"core {coord} participates in {count} route colours "
+                f"(device allows {limit}) — the R property is scarce "
+                "router state, not a soft hint",
+            ))
+    return findings
+
+
+def _check_registration(
+    trace: Trace, policy: SanitizePolicy, subject: str
+) -> List[Finding]:
+    if not policy.check_registration:
+        return []
+    registered = (
+        policy.registered_patterns
+        if policy.registered_patterns is not None
+        else trace.registered_colours()
+    )
+    findings: List[Finding] = []
+    for pattern in sorted(trace.patterns() - registered):
+        findings.append(_finding(
+            "unregistered-pattern", subject,
+            f"pattern {pattern!r} appears in the trace but was never "
+            "registered with the fabric — flow_bandwidth_factor/paths_at "
+            "accounting silently missed it",
+        ))
+    return findings
+
+
+def _check_barrier_hazards(
+    trace: Trace, subject: str
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for scope, events in trace.phase_groups():
+        if scope.kind != "overlap":
+            continue
+        # tile name -> (seq, pattern) of the flow that last wrote it
+        delivered: Dict[str, Tuple[int, str]] = {}
+        for event in events:
+            if isinstance(event, BarrierRecord):
+                delivered.clear()
+            elif isinstance(event, CommRecord):
+                for flow in event.flows:
+                    if flow.dst_name:
+                        delivered[flow.dst_name] = (event.seq, event.pattern)
+            elif isinstance(event, ComputeRecord):
+                for name in (*event.reads, *event.writes):
+                    hit = delivered.get(name)
+                    if hit is not None:
+                        findings.append(_finding(
+                            "barrier-hazard", subject,
+                            f"overlap phase {scope.label!r}: compute "
+                            f"{event.label!r} touches tile {name!r} delivered "
+                            f"by flow {hit[1]!r} in the same phase with no "
+                            "barrier between — a compute cannot overlap the "
+                            "communication producing its input",
+                        ))
+    return findings
+
+
+def _check_deadlock(trace: Trace, subject: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for scope, events in trace.phase_groups():
+        if scope.kind not in ("overlap", "gather"):
+            continue
+        comms = [e for e in events if isinstance(e, CommRecord) and e.flows]
+        if len(comms) < 2:
+            continue
+        reads: List[Set[Tuple[str, Coord]]] = []
+        writes: List[Set[Tuple[str, Coord]]] = []
+        for comm in comms:
+            r: Set[Tuple[str, Coord]] = set()
+            w: Set[Tuple[str, Coord]] = set()
+            for flow in comm.flows:
+                if flow.src_name:
+                    r.add((flow.src_name, flow.src))
+                if flow.dst_name:
+                    for dst in flow.dsts:
+                        w.add((flow.dst_name, dst))
+            reads.append(r)
+            writes.append(w)
+        # Record i waits on record j when i's source tile is j's delivery.
+        edges: Dict[int, Set[int]] = {
+            i: {
+                j
+                for j in range(len(comms))
+                if j != i and reads[i] & writes[j]
+            }
+            for i in range(len(comms))
+        }
+        cycle = _find_cycle(edges)
+        if cycle:
+            names = " -> ".join(comms[i].pattern for i in cycle)
+            findings.append(_finding(
+                "deadlock-cycle", subject,
+                f"overlap phase {scope.label!r}: communication records form "
+                f"a cyclic wait ({names}) — each transfer's source is the "
+                "other's delivery, so neither can start; issue the exchange "
+                "as one communicate() call (sources read before writes)",
+            ))
+    return findings
+
+
+def _find_cycle(edges: Dict[int, Set[int]]) -> Optional[List[int]]:
+    """First cycle in a small digraph, as a node list (or ``None``)."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in edges}
+    stack: List[int] = []
+
+    def visit(node: int) -> Optional[List[int]]:
+        colour[node] = GREY
+        stack.append(node)
+        for nxt in sorted(edges.get(node, ())):
+            if colour[nxt] == GREY:
+                return stack[stack.index(nxt):]
+            if colour[nxt] == WHITE:
+                found = visit(nxt)
+                if found:
+                    return found
+        stack.pop()
+        colour[node] = BLACK
+        return None
+
+    for node in sorted(edges):
+        if colour[node] == WHITE:
+            found = visit(node)
+            if found:
+                return found
+    return None
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+def sanitize_trace(
+    trace: Trace,
+    policy: Optional[SanitizePolicy] = None,
+    subject: str = "<trace>",
+) -> SanitizeReport:
+    """Run every check over one trace; returns the report."""
+    policy = policy or SanitizePolicy()
+    findings: List[Finding] = []
+    findings.extend(_check_hop_bounds(trace, policy, subject))
+    findings.extend(_check_memory(trace, policy, subject))
+    findings.extend(_check_fanin(trace, policy, subject))
+    findings.extend(_check_registration(trace, policy, subject))
+    findings.extend(_check_barrier_hazards(trace, subject))
+    findings.extend(_check_deadlock(trace, subject))
+    return SanitizeReport(subject=subject, findings=findings)
+
+
+def physical_shift_bound(
+    topology: MeshTopology, logical_bound: int = 2
+) -> int:
+    """Physical hop bound equivalent to a logical shift bound.
+
+    On a healthy mesh this is ``logical_bound`` exactly.  On a remapped
+    topology, cores that are logical neighbours can sit several physical
+    hops apart (remap displacement, dead-link detours), so the bound is
+    the worst physical distance over all pairs within ``logical_bound``
+    logical hops — tightest bound that accepts every legitimate shift.
+    """
+    bound = logical_bound
+    coords = list(topology.coords())
+    for (ax, ay) in coords:
+        for dx in range(-logical_bound, logical_bound + 1):
+            for dy in range(-logical_bound + abs(dx), logical_bound - abs(dx) + 1):
+                bx, by = ax + dx, ay + dy
+                if (dx, dy) == (0, 0):
+                    continue
+                if 0 <= bx < topology.width and 0 <= by < topology.height:
+                    bound = max(
+                        bound, topology.hop_distance((ax, ay), (bx, by))
+                    )
+    return bound
+
+
+def policy_for_machine(machine) -> SanitizePolicy:
+    """Build the policy one machine's device/fabric/topology implies."""
+    return SanitizePolicy(
+        shift_hop_bound=physical_shift_bound(machine.topology),
+        core_memory_bytes=machine.device.core_memory_bytes,
+        max_paths_per_core=machine.device.max_paths_per_core,
+        registered_patterns=machine.fabric.registered_patterns(),
+    )
+
+
+def sanitize_machine(
+    machine, subject: str = "<machine>", policy: Optional[SanitizePolicy] = None
+) -> SanitizeReport:
+    """Sanitize the trace a machine accumulated, under its own limits."""
+    return sanitize_trace(
+        machine.trace, policy or policy_for_machine(machine), subject
+    )

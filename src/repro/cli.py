@@ -376,6 +376,44 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """PLMR conformance check: AST lint + trace sanitizer over the zoo.
+
+    ``--strict`` exits non-zero on any finding; ``--json`` emits the
+    machine-readable report the CI job archives.  ``--update-baseline``
+    records the current lint findings as accepted, so only new
+    violations fail subsequent runs.
+    """
+    import json as _json
+
+    from repro.analysis.checker import run_check
+    from repro.analysis.lint.baseline import BASELINE_PATH, write_baseline
+    from repro.analysis.lint.engine import lint_tree
+
+    if args.update_baseline:
+        findings = lint_tree()
+        data = write_baseline(findings)
+        print(f"baseline: {len(data['fingerprints'])} fingerprint(s) "
+              f"written to {BASELINE_PATH}")
+        return 0
+
+    kernels = args.kernels.split(",") if args.kernels else None
+    report = run_check(
+        lint=not args.skip_lint,
+        sanitize=not args.skip_sanitize,
+        grid=args.grid,
+        kernels=kernels,
+        remapped=not args.no_remapped,
+    )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    if args.strict:
+        return 0 if report.ok else 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="WaferLLM reproduction toolkit")
@@ -493,6 +531,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="tiny fast sweep for CI")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "check",
+        help="PLMR conformance: AST lint + trace sanitizer over the kernels")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on any finding")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.add_argument("--skip-lint", action="store_true",
+                   help="run only the trace sanitizer")
+    p.add_argument("--skip-sanitize", action="store_true",
+                   help="run only the source lint")
+    p.add_argument("--kernels", default=None,
+                   help="comma-separated kernel names to sanitize "
+                        "(default: the clean suite + attention path)")
+    p.add_argument("--grid", type=int, default=4,
+                   help="mesh side for the sanitizer kernels")
+    p.add_argument("--no-remapped", action="store_true",
+                   help="skip the remapped/degraded-fabric sweep")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="accept current lint findings into the baseline")
+    p.set_defaults(func=cmd_check)
     return parser
 
 

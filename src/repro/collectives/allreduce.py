@@ -93,7 +93,10 @@ def pipeline_reduce(
             ]
             machine.communicate(pattern, flows)
             receivers = [line[t + 1] for line in lines]
-            machine.compute(f"{pattern}-add", receivers, _make_adder(name, inbox, op))
+            machine.compute(
+                f"{pattern}-add", receivers, _make_adder(name, inbox, op),
+                reads=(name, inbox), writes=(name,),
+            )
     return [line[-1] for line in lines]
 
 
@@ -307,7 +310,10 @@ def two_way_group_reduce(
                     core.free(inbox_name)
                 return macs
 
-            machine.compute(f"{pattern}-add", list(receivers), absorb)
+            machine.compute(
+                f"{pattern}-add", list(receivers), absorb,
+                reads=(name, inbox_l, inbox_r), writes=(name,),
+            )
     return roots
 
 

@@ -93,7 +93,12 @@ def run_cyclic_shift_gemm(
 
     for step in range(grid):
         with machine.phase(f"{name_prefix}-compute-shift", overlap=True):
-            machine.compute_all(f"{name_prefix}-mac", multiply_accumulate)
+            machine.compute_all(
+                f"{name_prefix}-mac",
+                multiply_accumulate,
+                reads=(a_name, b_name, c_name),
+                writes=(c_name,),
+            )
             if step < grid - 1:
                 row_ring_shift(
                     machine, f"{name_prefix}-shift-A", a_name, placement, offset=-1

@@ -90,7 +90,12 @@ class MeshGEMMTransposed(GemmKernel):
             # step (independent tile names), so both live in one overlap
             # scope; the row reduction of P then follows serially.
             with machine.phase("gemmt-compute-shift", overlap=True):
-                machine.compute_all("gemmt-outer", outer_partial)
+                machine.compute_all(
+                    "gemmt-outer",
+                    outer_partial,
+                    reads=(a_name, b_name),
+                    writes=(p_name,),
+                )
                 if step < grid - 1:
                     column_ring_shift(
                         machine, "gemmt-shift-B", b_name, placement, offset=-1

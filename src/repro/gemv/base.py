@@ -104,7 +104,10 @@ def local_partial_gemv(machine: MeshMachine, out_name: str = "gemv.c") -> None:
         return float(mat.shape[0] * mat.shape[1])
 
     with machine.phase("gemv-partial"):
-        machine.compute_all("gemv-partial", partial)
+        machine.compute_all(
+            "gemv-partial", partial,
+            reads=("gemv.a", "gemv.B"), writes=(out_name,),
+        )
 
 
 def gather_gemv_result(

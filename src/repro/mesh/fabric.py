@@ -151,6 +151,19 @@ class FabricModel:
         """Route colours currently programmed through a core."""
         return len(self._colours_per_core.get(coord, ()))
 
+    def registered_patterns(self) -> Set[str]:
+        """Every route colour that has been through :meth:`register`.
+
+        The trace sanitizer compares this against the colours appearing
+        in the trace: a traced pattern missing here was recorded without
+        router programming, so the lazy ``paths_at``/``bw_factor``
+        accounting would silently undercount it.
+        """
+        colours: Set[str] = set()
+        for per_core in self._colours_per_core.values():
+            colours.update(per_core)
+        return colours
+
     @property
     def max_paths_per_core(self) -> int:
         """Colours at the busiest core so far."""

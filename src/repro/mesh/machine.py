@@ -237,6 +237,8 @@ class MeshMachine:
                     hops=hops,
                     nbytes=payload.nbytes,
                     bw_factor=self.fabric.flow_bandwidth_factor(flow),
+                    src_name=flow.src_name,
+                    dst_name=flow.dst_name,
                 )
             )
             for idx, dst in enumerate(flow.dsts):
@@ -278,11 +280,16 @@ class MeshMachine:
         label: str,
         coords: Iterable[Coord],
         fn: Callable[[Core], float],
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
     ) -> None:
         """Run ``fn`` on each listed core; ``fn`` returns the MACs it did.
 
         The per-core MAC counts feed the trace (and through it the
         compute/communication breakdowns of Figures 9 and 10).
+        ``reads``/``writes`` name the tiles the compute touches; the trace
+        sanitizer uses them to detect flow/compute hazards inside overlap
+        phases that lack an intervening barrier.
         """
         macs: List[float] = []
         for coord in coords:
@@ -290,17 +297,25 @@ class MeshMachine:
             done = fn(core)
             macs.append(float(done))
             self._note_memory(coord)
-        self.trace.record_compute(self._step, label, macs)
+        self.trace.record_compute(
+            self._step, label, macs, reads=tuple(reads), writes=tuple(writes)
+        )
 
-    def compute_all(self, label: str, fn: Callable[[Core], float]) -> None:
+    def compute_all(
+        self,
+        label: str,
+        fn: Callable[[Core], float],
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
+    ) -> None:
         """Run ``fn`` on every core of the mesh."""
-        self.compute(label, self.topology.coords(), fn)
+        self.compute(label, self.topology.coords(), fn, reads=reads, writes=writes)
 
     # ------------------------------------------------------------------
     # Accounting helpers
     # ------------------------------------------------------------------
     def _note_memory(self, coord: Coord) -> None:
-        self.trace.note_memory(self.cores[coord].resident_bytes)
+        self.trace.note_memory(self.cores[coord].resident_bytes, coord)
 
     def peak_memory_bytes(self) -> int:
         """High-water mark of per-core resident memory across the run."""

@@ -52,7 +52,10 @@ class FlowRecord:
     same ``nbytes`` to every destination but occupies each link once.
     ``bw_factor`` is the worst surviving bandwidth fraction along the
     route (1.0 on a healthy fabric; < 1 when a degraded link throttles
-    the stream — see :mod:`repro.mesh.remap`).
+    the stream — see :mod:`repro.mesh.remap`).  ``src_name`` /
+    ``dst_name`` are the tile names read at the source and written at
+    each destination; the trace sanitizer uses them to detect read/write
+    hazards and cyclic-wait patterns (:mod:`repro.analysis.sanitize`).
     """
 
     src: Coord
@@ -60,6 +63,8 @@ class FlowRecord:
     hops: int
     nbytes: int
     bw_factor: float = 1.0
+    src_name: str = ""
+    dst_name: str = ""
 
     @property
     def wire_bytes(self) -> float:
@@ -141,6 +146,11 @@ class ComputeRecord:
     group: int = -1
     seq: int = -1
     macs: Tuple[float, ...] = ()
+    #: Tile names the compute callback reads/writes (empty when the
+    #: kernel did not declare them).  Consumed by the trace sanitizer's
+    #: barrier-hazard check; purely informational otherwise.
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -173,6 +183,11 @@ class Trace:
         default_factory=lambda: defaultdict(set)
     )
     peak_memory_bytes: int = 0
+    #: Per-core resident-memory high-water marks (logical coordinate ->
+    #: bytes), populated by :meth:`note_memory` when callers pass the
+    #: coordinate.  The sanitizer checks these against the device's M
+    #: budget; the global ``peak_memory_bytes`` stays for legacy callers.
+    core_peak_bytes: Dict[Coord, int] = field(default_factory=dict)
     _scopes: List[PhaseScope] = field(default_factory=list)
     _scope_stack: List[PhaseScope] = field(default_factory=list)
     _next_group: int = 0
@@ -257,9 +272,18 @@ class Trace:
             self._colours_per_core[coord].update(colours)
 
     def record_compute(
-        self, step: int, label: str, macs_per_core: List[float]
+        self,
+        step: int,
+        label: str,
+        macs_per_core: List[float],
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
     ) -> None:
-        """Record one compute phase with per-core MAC counts."""
+        """Record one compute phase with per-core MAC counts.
+
+        ``reads`` / ``writes`` optionally declare the tile names the
+        compute touches, enabling the sanitizer's hazard analysis.
+        """
         if not macs_per_core:
             return
         phase, group, seq = self._tag(label)
@@ -274,6 +298,8 @@ class Trace:
                 group=group,
                 seq=seq,
                 macs=tuple(float(m) for m in macs_per_core),
+                reads=tuple(reads),
+                writes=tuple(writes),
             )
         )
 
@@ -284,10 +310,18 @@ class Trace:
             BarrierRecord(step=step, pattern=pattern, phase=phase, group=group, seq=seq)
         )
 
-    def note_memory(self, resident_bytes: int) -> None:
-        """Track the high-water mark of any core's resident memory."""
+    def note_memory(
+        self, resident_bytes: int, coord: Optional[Coord] = None
+    ) -> None:
+        """Track the high-water mark of a core's resident memory.
+
+        With ``coord`` the per-core high-water table is updated too, so
+        the sanitizer can name the offending core of an M breach.
+        """
         if resident_bytes > self.peak_memory_bytes:
             self.peak_memory_bytes = resident_bytes
+        if coord is not None and resident_bytes > self.core_peak_bytes.get(coord, 0):
+            self.core_peak_bytes[coord] = resident_bytes
 
     # -- replayable phase stream ----------------------------------------
     def events(self) -> List[TraceEvent]:
@@ -354,6 +388,26 @@ class Trace:
     def patterns(self) -> Set[str]:
         """All route colours used during execution."""
         return {record.pattern for record in self.comms}
+
+    def paths_map(self) -> Dict[Coord, int]:
+        """Route-colour count per core (the per-core R usage)."""
+        return {
+            coord: len(colours)
+            for coord, colours in self._colours_per_core.items()
+        }
+
+    def registered_colours(self) -> Set[str]:
+        """Route colours the fabric registered (forwarded at record time).
+
+        A comm record whose pattern is absent from this set was recorded
+        without going through ``FabricModel.register()`` — the lazy
+        bandwidth/paths accounting would silently miss it, which is what
+        the sanitizer's registration check catches.
+        """
+        colours: Set[str] = set()
+        for per_core in self._colours_per_core.values():
+            colours.update(per_core)
+        return colours
 
     def summary(self) -> Dict[str, float]:
         """Headline numbers for reports and assertions."""

@@ -71,7 +71,6 @@ def _two_way_argmax_reduce(
                 st[1] = right - 1
         if not flows:
             break
-        machine.communicate(pattern, flows)
 
         def absorb(core: Core, inboxes=dict(receivers)) -> float:
             macs = 0.0
@@ -79,8 +78,17 @@ def _two_way_argmax_reduce(
                 macs += _combine(core, name, inbox)
             return macs
 
-        machine.compute(f"{pattern}-cmp", list(receivers), absorb)
-        machine.advance_step()
+        # One phase per tree stage: the inward flows land and are folded
+        # into the accumulators before the next stage reads them.
+        with machine.phase(pattern, kind="serial"):
+            machine.communicate(pattern, flows)
+            machine.compute(
+                f"{pattern}-cmp",
+                list(receivers),
+                absorb,
+                reads=(name, inbox_l, inbox_r),
+                writes=(name,),
+            )
     return roots
 
 

@@ -85,7 +85,8 @@ class DistributedRMSNorm:
 
         line = machine.topology.row(row)
         with machine.phase("rms-square"):
-            machine.compute("rms-square", line, local_square_sum)
+            machine.compute("rms-square", line, local_square_sum,
+                            reads=("rms.x",), writes=("rms.sq",))
         roots = ktree_reduce(machine, [line], "rms.sq", k=2,
                              pattern_prefix="rms-ktree")
         broadcast_from_root(machine, [line], roots, "rms.sq",
@@ -99,7 +100,9 @@ class DistributedRMSNorm:
             return float(chunk.size) * 2.0
 
         with machine.phase("rms-normalize"):
-            machine.compute("rms-normalize", line, local_normalize)
+            machine.compute("rms-normalize", line, local_normalize,
+                            reads=("rms.x", "rms.w", "rms.sq"),
+                            writes=("rms.x",))
         result = _gather_line_chunks(machine, "rms.x", grid, row)
         for name in ("rms.x", "rms.w", "rms.sq"):
             machine.free(name, line)
@@ -142,7 +145,8 @@ class DistributedSoftmax:
             return float(chunk.size)
 
         with machine.phase("sm-max"):
-            machine.compute("sm-max", line, local_max)
+            machine.compute("sm-max", line, local_max,
+                            reads=("sm.x",), writes=("sm.max",))
         roots = ktree_reduce(machine, [line], "sm.max", k=2,
                              pattern_prefix="sm-ktree-max", op="max")
         broadcast_from_root(machine, [line], roots, "sm.max",
@@ -157,7 +161,9 @@ class DistributedSoftmax:
             return float(chunk.size) * 2.0
 
         with machine.phase("sm-exp"):
-            machine.compute("sm-exp", line, local_exp_sum)
+            machine.compute("sm-exp", line, local_exp_sum,
+                            reads=("sm.x", "sm.max"),
+                            writes=("sm.x", "sm.sum"))
         roots = ktree_reduce(machine, [line], "sm.sum", k=2,
                              pattern_prefix="sm-ktree-sum")
         broadcast_from_root(machine, [line], roots, "sm.sum",
@@ -170,7 +176,8 @@ class DistributedSoftmax:
             return float(chunk.size)
 
         with machine.phase("sm-scale"):
-            machine.compute("sm-scale", line, local_scale)
+            machine.compute("sm-scale", line, local_scale,
+                            reads=("sm.x", "sm.sum"), writes=("sm.x",))
         result = _gather_line_chunks(machine, "sm.x", grid, row)
         for name in ("sm.x", "sm.max", "sm.sum"):
             machine.free(name, line)

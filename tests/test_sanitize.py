@@ -1,0 +1,339 @@
+"""The trace sanitizer: seeded-bad traces flagged, clean kernels silent."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.kernels import (
+    INTENTIONAL_VIOLATORS,
+    clean_kernel_names,
+    run_kernel_checks,
+    sanitize_attention,
+    sanitize_clean_suite,
+    sanitize_kernel,
+    sanitize_kernel_remapped,
+    _remapped_machine,
+)
+from repro.analysis.sanitize import (
+    SanitizePolicy,
+    physical_shift_bound,
+    policy_for_machine,
+    sanitize_machine,
+    sanitize_trace,
+)
+from repro.core import PRESETS
+from repro.mesh.machine import MeshMachine
+from repro.mesh.trace import FlowRecord, Trace
+
+
+def _comm(trace, step, pattern, flows, register=True):
+    """Record one comm phase; ``register=False`` skips colour forwarding."""
+    touched = {}
+    if register:
+        for flow in flows:
+            touched.setdefault(flow.src, set()).add(pattern)
+            for dst in flow.dsts:
+                touched.setdefault(dst, set()).add(pattern)
+    trace.record_comm(
+        step, pattern,
+        [f.hops for f in flows], [f.nbytes for f in flows],
+        touched, flows=flows,
+    )
+
+
+def _rules(report):
+    return {f.rule for f in report.findings}
+
+
+# ----------------------------------------------------------------------
+# seeded-bad traces: each violation class must be flagged
+# ----------------------------------------------------------------------
+
+def test_oversized_shift_flagged():
+    trace = Trace()
+    _comm(trace, 0, "bad-shift", [
+        FlowRecord(src=(0, 0), dsts=((5, 0),), hops=5, nbytes=64,
+                   src_name="t", dst_name="t"),
+    ])
+    report = sanitize_trace(trace, SanitizePolicy())
+    assert "hop-bound" in _rules(report)
+    assert "5 hops" in report.findings[0].message
+
+
+def test_shift_within_bound_clean():
+    trace = Trace()
+    _comm(trace, 0, "good-shift", [
+        FlowRecord(src=(0, 0), dsts=((2, 0),), hops=2, nbytes=64,
+                   src_name="t", dst_name="t"),
+    ])
+    assert sanitize_trace(trace, SanitizePolicy()).ok
+
+
+def test_non_shift_pattern_exempt_from_hop_bound():
+    # Alignment skews legitimately span the line; only shift-like
+    # patterns bind to the 2-hop INTERLEAVE bound.
+    trace = Trace()
+    _comm(trace, 0, "gemm-align-A", [
+        FlowRecord(src=(0, 0), dsts=((7, 0),), hops=7, nbytes=64,
+                   src_name="t", dst_name="t"),
+    ])
+    assert sanitize_trace(trace, SanitizePolicy()).ok
+
+
+def test_memory_capacity_breach_flagged():
+    trace = Trace()
+    trace.note_memory(100_000, (1, 2))
+    policy = SanitizePolicy(core_memory_bytes=48 * 1024)
+    report = sanitize_trace(trace, policy)
+    assert _rules(report) == {"memory-capacity"}
+    assert "(1, 2)" in report.findings[0].message
+
+
+def test_memory_within_budget_clean():
+    trace = Trace()
+    trace.note_memory(40_000, (1, 2))
+    assert sanitize_trace(trace, SanitizePolicy(core_memory_bytes=48 * 1024)).ok
+
+
+def test_routing_fanin_breach_flagged():
+    trace = Trace()
+    for i in range(4):
+        _comm(trace, i, f"colour-{i}", [
+            FlowRecord(src=(0, 0), dsts=((1, 0),), hops=1, nbytes=8,
+                       src_name="t", dst_name="t"),
+        ])
+    report = sanitize_trace(trace, SanitizePolicy(max_paths_per_core=3))
+    assert "routing-fanin" in _rules(report)
+    assert sanitize_trace(trace, SanitizePolicy(max_paths_per_core=4)).ok
+
+
+def test_unregistered_pattern_flagged():
+    trace = Trace()
+    _comm(trace, 0, "ghost", [
+        FlowRecord(src=(0, 0), dsts=((1, 0),), hops=1, nbytes=8,
+                   src_name="t", dst_name="t"),
+    ], register=False)
+    report = sanitize_trace(trace, SanitizePolicy())
+    assert "unregistered-pattern" in _rules(report)
+    # The same trace against an explicit registered set is clean.
+    policy = SanitizePolicy(registered_patterns={"ghost"})
+    assert sanitize_trace(trace, policy).ok
+
+
+def test_missing_barrier_hazard_flagged():
+    trace = Trace()
+    scope = trace.begin_phase("ov", kind="overlap")
+    _comm(trace, 0, "feed", [
+        FlowRecord(src=(0, 0), dsts=((1, 0),), hops=1, nbytes=8,
+                   src_name="t.out", dst_name="t.in"),
+    ])
+    trace.record_compute(0, "consume", [1.0], reads=("t.in",), writes=("acc",))
+    trace.end_phase(scope)
+    report = sanitize_trace(trace, SanitizePolicy())
+    assert "barrier-hazard" in _rules(report)
+
+
+def test_barrier_between_flow_and_compute_clears_hazard():
+    trace = Trace()
+    scope = trace.begin_phase("ov", kind="overlap")
+    _comm(trace, 0, "feed", [
+        FlowRecord(src=(0, 0), dsts=((1, 0),), hops=1, nbytes=8,
+                   src_name="t.out", dst_name="t.in"),
+    ])
+    trace.record_barrier(0, "sync")
+    trace.record_compute(0, "consume", [1.0], reads=("t.in",), writes=("acc",))
+    trace.end_phase(scope)
+    assert sanitize_trace(trace, SanitizePolicy()).ok
+
+
+def test_compute_before_flow_is_not_a_hazard():
+    # The sanctioned compute-shift ordering: the compute reads this
+    # step's tiles while the shift delivers the *next* step's.
+    trace = Trace()
+    scope = trace.begin_phase("ov", kind="overlap")
+    trace.record_compute(0, "mac", [1.0], reads=("a", "b"), writes=("c",))
+    _comm(trace, 0, "loop-shift", [
+        FlowRecord(src=(0, 0), dsts=((1, 0),), hops=1, nbytes=8,
+                   src_name="a", dst_name="a"),
+    ])
+    trace.end_phase(scope)
+    assert sanitize_trace(trace, SanitizePolicy()).ok
+
+
+def test_deadlock_cycle_flagged():
+    # Two communicate() calls in one overlap scope, each sourcing the
+    # tile the other delivers: a cyclic wait.
+    trace = Trace()
+    scope = trace.begin_phase("exchange", kind="overlap")
+    _comm(trace, 0, "east", [
+        FlowRecord(src=(0, 0), dsts=((1, 0),), hops=1, nbytes=8,
+                   src_name="t", dst_name="t"),
+    ])
+    _comm(trace, 0, "west", [
+        FlowRecord(src=(1, 0), dsts=((0, 0),), hops=1, nbytes=8,
+                   src_name="t", dst_name="t"),
+    ])
+    trace.end_phase(scope)
+    report = sanitize_trace(trace, SanitizePolicy())
+    assert "deadlock-cycle" in _rules(report)
+    assert "east" in report.findings[0].message
+
+
+def test_single_record_ring_exchange_sanctioned():
+    # The same exchange issued as ONE communicate() call is safe: the
+    # machine reads every source before writing any destination.
+    trace = Trace()
+    scope = trace.begin_phase("exchange", kind="overlap")
+    _comm(trace, 0, "ring", [
+        FlowRecord(src=(0, 0), dsts=((1, 0),), hops=1, nbytes=8,
+                   src_name="t", dst_name="t"),
+        FlowRecord(src=(1, 0), dsts=((0, 0),), hops=1, nbytes=8,
+                   src_name="t", dst_name="t"),
+    ])
+    trace.end_phase(scope)
+    assert sanitize_trace(trace, SanitizePolicy()).ok
+
+
+def test_disjoint_tiles_no_deadlock():
+    trace = Trace()
+    scope = trace.begin_phase("mixed", kind="overlap")
+    _comm(trace, 0, "shift-A", [
+        FlowRecord(src=(0, 0), dsts=((1, 0),), hops=1, nbytes=8,
+                   src_name="a", dst_name="a"),
+    ])
+    _comm(trace, 0, "shift-B", [
+        FlowRecord(src=(1, 0), dsts=((0, 0),), hops=1, nbytes=8,
+                   src_name="b", dst_name="b"),
+    ])
+    trace.end_phase(scope)
+    assert sanitize_trace(trace, SanitizePolicy()).ok
+
+
+# ----------------------------------------------------------------------
+# kernel zoo: clean suite silent, intentional violators flagged
+# ----------------------------------------------------------------------
+
+def test_clean_kernel_suite_zero_findings():
+    reports = sanitize_clean_suite(grid=4)
+    assert len(reports) == len(clean_kernel_names())
+    noisy = [r for r in reports if not r.ok]
+    pretty = "\n".join(r.render() for r in noisy)
+    assert not noisy, f"sanitizer findings on the clean suite:\n{pretty}"
+
+
+def test_attention_path_zero_findings():
+    reports = sanitize_attention(grid=4)
+    assert reports  # the forward pass actually launched kernels
+    assert all(r.ok for r in reports)
+
+
+@pytest.mark.parametrize("name", sorted(
+    INTENTIONAL_VIOLATORS & {"cannon", "ring-allreduce", "ring-gemv"}))
+def test_intentional_violators_flagged(name):
+    report = sanitize_kernel(name, grid=4)
+    assert "hop-bound" in _rules(report), (
+        f"{name} is a documented L violator; the sanitizer must see it")
+
+
+def test_clean_suite_excludes_every_violator():
+    assert not set(clean_kernel_names()) & INTENTIONAL_VIOLATORS
+
+
+def test_registration_check_holds_on_machine_runs():
+    # Every communicate() goes through fabric.register, so a real
+    # machine's trace never contains unregistered patterns.
+    report = sanitize_kernel("meshgemm", grid=4)
+    assert "unregistered-pattern" not in _rules(report)
+
+
+# ----------------------------------------------------------------------
+# remapped fabrics: detours widen the bound, teleports still flagged
+# ----------------------------------------------------------------------
+
+def test_physical_shift_bound_widens_on_defective_fabric():
+    machine = _remapped_machine(4)
+    assert physical_shift_bound(machine.topology) > 2
+    healthy = MeshMachine(PRESETS["cerebras-wse2"].submesh(4, 4))
+    assert physical_shift_bound(healthy.topology) == 2
+
+
+@pytest.mark.parametrize("name", ["meshgemm", "meshgemv"])
+def test_remapped_kernels_sanitize_clean(name):
+    report = sanitize_kernel_remapped(name, grid=4)
+    assert report.ok, report.render()
+
+
+def test_remapped_policy_still_catches_teleports():
+    machine = _remapped_machine(4)
+    policy = policy_for_machine(machine)
+    trace = Trace()
+    _comm(trace, 0, "tele-shift", [
+        FlowRecord(src=(0, 0), dsts=((3, 3),), hops=policy.shift_hop_bound + 1,
+                   nbytes=8, src_name="t", dst_name="t"),
+    ])
+    report = sanitize_trace(trace, policy)
+    assert "hop-bound" in _rules(report)
+
+
+# ----------------------------------------------------------------------
+# machine integration: per-core peaks and fabric registration surface
+# ----------------------------------------------------------------------
+
+def test_machine_records_per_core_memory_peaks():
+    machine = MeshMachine(PRESETS["cerebras-wse2"].submesh(2, 2))
+    machine.place("t", (1, 0), np.zeros(16))
+    assert machine.trace.core_peak_bytes[(1, 0)] == 16 * 8
+
+
+def test_fabric_exposes_registered_patterns():
+    machine = MeshMachine(PRESETS["cerebras-wse2"].submesh(2, 2))
+    machine.place("t", (0, 0), np.zeros(4))
+    from repro.mesh.fabric import Flow
+
+    machine.communicate("hop", [Flow.unicast((0, 0), (1, 0), "t", "t")])
+    assert "hop" in machine.fabric.registered_patterns()
+    assert sanitize_machine(machine).ok
+
+
+def test_full_kernel_sweep_matches_cli_surface():
+    reports = run_kernel_checks(grid=4)
+    subjects = [r.subject for r in reports]
+    assert any(s.startswith("meshgemm@4x4") for s in subjects)
+    assert any(s.startswith("attention:") for s in subjects)
+    assert any("remapped" in s for s in subjects)
+    assert all(r.ok for r in reports)
+
+
+# ----------------------------------------------------------------------
+# the CLI: repro check
+# ----------------------------------------------------------------------
+
+def test_cli_check_strict_lint_only(capsys):
+    from repro.cli import main
+
+    rc = main(["check", "--strict", "--skip-sanitize"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "check: OK" in out
+
+
+def test_cli_check_json_single_kernel(capsys):
+    import json
+
+    from repro.cli import main
+
+    rc = main(["check", "--strict", "--json", "--skip-lint",
+               "--kernels", "meshgemv", "--grid", "4", "--no-remapped"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["ok"] is True
+    assert payload["kernels_checked"] == ["meshgemv@4x4"]
+
+
+def test_cli_check_strict_fails_on_violator(capsys):
+    from repro.cli import main
+
+    rc = main(["check", "--strict", "--skip-lint",
+               "--kernels", "cannon", "--grid", "4", "--no-remapped"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "hop-bound" in out
