@@ -414,6 +414,71 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Simulator micro-benchmarks: compiled vs eager execution.
+
+    Times the functional simulator itself (not the modeled wafer):
+    repeated decode-step GEMV (eager / capture / replay), prefill GEMM
+    (scalar vs vectorized tile compute), and the K-tree allreduce.
+    Writes ``BENCH_simulator.json``; with ``--baseline`` it additionally
+    warns — without failing — when any speedup ratio degraded more than
+    20% versus the committed report (ratios, not milliseconds, so the
+    check is machine-independent).
+    """
+    from pathlib import Path
+
+    from repro.bench import simbench
+
+    report = simbench.run_benchmarks(smoke=args.smoke)
+    rows = []
+    marks = report["benchmarks"]
+    dec = marks["decode_gemv"]
+    rows.append(["decode GEMV replay vs capture",
+                 f"{dec['replay_ms']:.3f} ms",
+                 f"{dec['capture_ms']:.3f} ms",
+                 f"{dec['replay_vs_capture']:.2f}x"])
+    rows.append(["decode GEMV replay vs eager",
+                 f"{dec['replay_ms']:.3f} ms",
+                 f"{dec['eager_ms']:.3f} ms",
+                 f"{dec['replay_vs_eager']:.2f}x"])
+    gem = marks["prefill_gemm"]
+    rows.append(["prefill GEMM replay vs eager",
+                 f"{gem['replay_ms']:.3f} ms",
+                 f"{gem['eager_ms']:.3f} ms",
+                 f"{gem['replay_vs_eager']:.2f}x"])
+    rows.append(["prefill GEMM vectorized vs scalar",
+                 f"{gem['vectorized_ms']:.3f} ms",
+                 f"{gem['eager_ms']:.3f} ms",
+                 f"{gem['vectorized_vs_scalar']:.2f}x"])
+    red = marks["allreduce"]
+    rows.append(["allreduce replay vs eager",
+                 f"{red['replay_ms']:.3f} ms",
+                 f"{red['eager_ms']:.3f} ms",
+                 f"{red['replay_vs_eager']:.2f}x"])
+    print(format_table("simulator micro-benchmarks"
+                       + (" (smoke)" if args.smoke else ""),
+                       ["benchmark", "fast", "slow", "speedup"], rows))
+
+    out = Path(args.out) if args.out else Path(simbench.BENCH_FILENAME)
+    simbench.write_report(report, out)
+    print(f"report written to {out}")
+
+    if args.baseline:
+        baseline = simbench.load_report(Path(args.baseline))
+        if baseline is None:
+            print(f"warning: baseline {args.baseline} missing or unreadable",
+                  file=sys.stderr)
+        else:
+            warnings = simbench.compare_to_baseline(report, baseline)
+            for warning in warnings:
+                print(f"warning: perf regression: {warning}",
+                      file=sys.stderr)
+            if not warnings:
+                print("no ratio regressed more than "
+                      f"{simbench.REGRESSION_TOLERANCE:.0%} vs baseline")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="WaferLLM reproduction toolkit")
@@ -553,6 +618,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--update-baseline", action="store_true",
                    help="accept current lint findings into the baseline")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "bench",
+        help="simulator micro-benchmarks (compiled vs eager execution)")
+    p.add_argument("--smoke", action="store_true",
+                   help="small shapes / few rounds for CI")
+    p.add_argument("--out", default=None,
+                   help="output JSON path (default: BENCH_simulator.json "
+                        "at the repo root)")
+    p.add_argument("--baseline", default=None,
+                   help="committed report to compare speedup ratios against "
+                        "(warnings only, never fails)")
+    p.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -87,7 +87,7 @@ def row_broadcast(
     flows: List[Flow] = []
     for y in range(machine.topology.height):
         root = (root_x, y)
-        machine.core(root).store(dst_name, machine.core(root).load(src_name))
+        machine.copy_tile(root, src_name, dst_name)
         dsts = [(x, y) for x in range(machine.topology.width) if x != root_x]
         if dsts:
             flows.append(Flow.multicast(root, dsts, src_name, dst_name))
@@ -114,7 +114,7 @@ def column_broadcast(
     flows: List[Flow] = []
     for x in range(machine.topology.width):
         root = (x, root_y)
-        machine.core(root).store(dst_name, machine.core(root).load(src_name))
+        machine.copy_tile(root, src_name, dst_name)
         dsts = [(x, y) for y in range(machine.topology.height) if y != root_y]
         if dsts:
             flows.append(Flow.multicast(root, dsts, src_name, dst_name))

@@ -23,7 +23,7 @@ over ``n`` steps the full contraction over ``k`` accumulates.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,23 +40,39 @@ from repro.gemm.base import (
     scatter_with_placement,
 )
 
+#: Tile names of the cyclic-shift engine (shared by bind/body/gather).
+A_NAME, B_NAME, C_NAME = "gemm.A", "gemm.B", "gemm.C"
 
-def run_cyclic_shift_gemm(
+
+def bind_cyclic_operands(
     machine: MeshMachine,
     a: np.ndarray,
     b: np.ndarray,
     placement: Sequence[int],
-    name_prefix: str = "cyclic",
-) -> np.ndarray:
-    """Execute the alignment + compute-shift program under a placement."""
+) -> int:
+    """Scatter A and B under ``placement``; returns the grid side.
+
+    Host-side binding, separated from :func:`cyclic_gemm_body` so the
+    body alone can be captured into a replayable
+    :class:`~repro.mesh.program.MeshProgram`.
+    """
     grid = require_square_grid(machine)
     check_partitionable(a, b, grid)
     placement = list(placement)
-    logical_at = inverse_placement(placement)
+    scatter_with_placement(machine, A_NAME, a, placement, placement)
+    scatter_with_placement(machine, B_NAME, b, placement, placement)
+    return grid
 
-    a_name, b_name, c_name = "gemm.A", "gemm.B", "gemm.C"
-    tm, _ = scatter_with_placement(machine, a_name, a, placement, placement)
-    _, tn = scatter_with_placement(machine, b_name, b, placement, placement)
+
+def cyclic_gemm_body(
+    machine: MeshMachine,
+    placement: Sequence[int],
+    name_prefix: str = "cyclic",
+) -> None:
+    """Alignment + compute-shift loop over already-bound operands."""
+    grid = require_square_grid(machine)
+    placement = list(placement)
+    logical_at = inverse_placement(placement)
 
     # Alignment (one skew phase per operand).  The physical row py holds
     # logical block-row logical_at[py], which must shift left by that
@@ -68,46 +84,86 @@ def run_cyclic_shift_gemm(
             row_ring_shift(
                 machine,
                 f"{name_prefix}-align-A",
-                a_name,
+                A_NAME,
                 placement,
                 row_offsets=[-logical_at[py] for py in range(grid)],
             )
             column_ring_shift(
                 machine,
                 f"{name_prefix}-align-B",
-                b_name,
+                B_NAME,
                 placement,
                 col_offsets=[-logical_at[px] for px in range(grid)],
             )
 
     def multiply_accumulate(core: Core) -> float:
-        a_tile = core.load(a_name)
-        b_tile = core.load(b_name)
-        c_tile = core.load_optional(c_name)
+        a_tile = core.load(A_NAME)
+        b_tile = core.load(B_NAME)
+        c_tile = core.load_optional(C_NAME)
         partial = a_tile @ b_tile
         if c_tile is None:
-            core.store(c_name, partial)
+            core.store(C_NAME, partial)
         else:
-            core.store(c_name, c_tile + partial)
+            core.store(C_NAME, c_tile + partial)
         return float(a_tile.shape[0] * a_tile.shape[1] * b_tile.shape[1])
+
+    def multiply_accumulate_stacked(
+        stacks: Dict[str, Optional[np.ndarray]],
+    ) -> Tuple[Dict[str, np.ndarray], float]:
+        a_stack = stacks[A_NAME]
+        b_stack = stacks[B_NAME]
+        c_stack = stacks[C_NAME]
+        partial = np.matmul(a_stack, b_stack)
+        out = partial if c_stack is None else c_stack + partial
+        macs = float(a_stack.shape[1] * a_stack.shape[2] * b_stack.shape[2])
+        return {C_NAME: out}, macs
 
     for step in range(grid):
         with machine.phase(f"{name_prefix}-compute-shift", overlap=True):
-            machine.compute_all(
-                f"{name_prefix}-mac",
-                multiply_accumulate,
-                reads=(a_name, b_name, c_name),
-                writes=(c_name,),
-            )
+            if machine.vectorize:
+                machine.compute_stacked(
+                    f"{name_prefix}-mac",
+                    machine.topology.coords(),
+                    multiply_accumulate_stacked,
+                    reads=(A_NAME, B_NAME, C_NAME),
+                    writes=(C_NAME,),
+                    fallback=multiply_accumulate,
+                )
+            else:
+                machine.compute_all(
+                    f"{name_prefix}-mac",
+                    multiply_accumulate,
+                    reads=(A_NAME, B_NAME, C_NAME),
+                    writes=(C_NAME,),
+                )
             if step < grid - 1:
                 row_ring_shift(
-                    machine, f"{name_prefix}-shift-A", a_name, placement, offset=-1
+                    machine, f"{name_prefix}-shift-A", A_NAME, placement, offset=-1
                 )
                 column_ring_shift(
-                    machine, f"{name_prefix}-shift-B", b_name, placement, offset=-1
+                    machine, f"{name_prefix}-shift-B", B_NAME, placement, offset=-1
                 )
 
-    return gather_with_placement(machine, c_name, placement, placement)
+
+def gather_cyclic_result(
+    machine: MeshMachine, placement: Sequence[int]
+) -> np.ndarray:
+    """Reassemble C from the grid under ``placement``."""
+    placement = list(placement)
+    return gather_with_placement(machine, C_NAME, placement, placement)
+
+
+def run_cyclic_shift_gemm(
+    machine: MeshMachine,
+    a: np.ndarray,
+    b: np.ndarray,
+    placement: Sequence[int],
+    name_prefix: str = "cyclic",
+) -> np.ndarray:
+    """Execute the alignment + compute-shift program under a placement."""
+    bind_cyclic_operands(machine, a, b, placement)
+    cyclic_gemm_body(machine, placement, name_prefix)
+    return gather_cyclic_result(machine, placement)
 
 
 def cyclic_gemm_plan(

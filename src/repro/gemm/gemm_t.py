@@ -57,12 +57,13 @@ class MeshGEMMTransposed(GemmKernel):
     name = "meshgemm-t"
     profile = MESHGEMM  # same cyclic-shift compliance class
 
-    @classmethod
-    def run(cls, machine: MeshMachine, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Functional execution; returns the dense ``a @ b.T``.
+    _NAMES = ("gemmt.A", "gemmt.B", "gemmt.P", "gemmt.C")
 
-        ``a`` has shape ``(M, K)``; ``b`` has shape ``(N, K)``.
-        """
+    @classmethod
+    def bind_operands(
+        cls, machine: MeshMachine, a: np.ndarray, b: np.ndarray
+    ) -> List[int]:
+        """Validate shapes and scatter A/B; returns the placement."""
         grid = require_square_grid(machine)
         if a.ndim != 2 or b.ndim != 2:
             raise ShapeError("operands must be 2-D")
@@ -70,13 +71,18 @@ class MeshGEMMTransposed(GemmKernel):
             raise ShapeError(f"K dims differ: {a.shape} vs {b.shape} (B untransposed)")
         if a.shape[0] % grid or a.shape[1] % grid or b.shape[0] % grid:
             raise ShapeError("dims must divide the grid; pad operands")
-
         placement = interleave_placement(grid)
-        logical_at = inverse_placement(placement)
-        a_name, b_name, p_name, c_name = "gemmt.A", "gemmt.B", "gemmt.P", "gemmt.C"
+        a_name, b_name, _p_name, _c_name = cls._NAMES
         scatter_with_placement(machine, a_name, a, placement, placement)
         scatter_with_placement(machine, b_name, b, placement, placement)
+        return placement
 
+    @classmethod
+    def _body(cls, machine: MeshMachine, placement: List[int]) -> None:
+        """The compute-shift-reduce-place loop over bound operands."""
+        grid = require_square_grid(machine)
+        logical_at = inverse_placement(placement)
+        a_name, b_name, p_name, c_name = cls._NAMES
         rows = [machine.topology.row(y) for y in range(grid)]
 
         def outer_partial(core: Core) -> float:
@@ -85,17 +91,36 @@ class MeshGEMMTransposed(GemmKernel):
             core.store(p_name, a_tile @ b_tile.T)
             return float(a_tile.shape[0] * a_tile.shape[1] * b_tile.shape[0])
 
+        def outer_partial_stacked(stacks):
+            a_stack = stacks[a_name]
+            b_stack = stacks[b_name]
+            out = np.matmul(a_stack, b_stack.transpose(0, 2, 1))
+            macs = float(
+                a_stack.shape[1] * a_stack.shape[2] * b_stack.shape[1]
+            )
+            return {p_name: out}, macs
+
         for step in range(grid):
             # The outer product overlaps the B shift feeding the *next*
             # step (independent tile names), so both live in one overlap
             # scope; the row reduction of P then follows serially.
             with machine.phase("gemmt-compute-shift", overlap=True):
-                machine.compute_all(
-                    "gemmt-outer",
-                    outer_partial,
-                    reads=(a_name, b_name),
-                    writes=(p_name,),
-                )
+                if machine.vectorize:
+                    machine.compute_stacked(
+                        "gemmt-outer",
+                        machine.topology.coords(),
+                        outer_partial_stacked,
+                        reads=(a_name, b_name),
+                        writes=(p_name,),
+                        fallback=outer_partial,
+                    )
+                else:
+                    machine.compute_all(
+                        "gemmt-outer",
+                        outer_partial,
+                        reads=(a_name, b_name),
+                        writes=(p_name,),
+                    )
                 if step < grid - 1:
                     column_ring_shift(
                         machine, "gemmt-shift-B", b_name, placement, offset=-1
@@ -110,7 +135,7 @@ class MeshGEMMTransposed(GemmKernel):
                 r = (i + step) % grid
                 target = (placement[r], py)
                 if target == root:
-                    machine.core(root).store(c_name, machine.core(root).load(p_name))
+                    machine.copy_tile(root, p_name, c_name)
                 else:
                     flows.append(Flow.unicast(root, target, p_name, c_name))
             if flows:
@@ -118,6 +143,48 @@ class MeshGEMMTransposed(GemmKernel):
                     machine.communicate("gemmt-place", flows)
             machine.free(p_name)
 
+    @classmethod
+    def run(cls, machine: MeshMachine, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Functional execution; returns the dense ``a @ b.T``.
+
+        ``a`` has shape ``(M, K)``; ``b`` has shape ``(N, K)``.
+        """
+        placement = cls.bind_operands(machine, a, b)
+        cls._body(machine, placement)
+        c_name = cls._NAMES[3]
+        return gather_with_placement(machine, c_name, placement, placement)
+
+    @classmethod
+    def capture_run(
+        cls, machine: MeshMachine, a: np.ndarray, b: np.ndarray
+    ):
+        """Like :meth:`run`, additionally capturing a replayable program."""
+        from repro.mesh.program import MeshProgram  # noqa: F401 (docs)
+
+        placement = cls.bind_operands(machine, a, b)
+        with machine.capture() as program:
+            cls._body(machine, placement)
+        program.meta["placement"] = placement
+        program.meta["operand_shapes"] = (a.shape, b.shape)
+        c_name = cls._NAMES[3]
+        return gather_with_placement(machine, c_name, placement, placement), program
+
+    @classmethod
+    def replay_run(cls, machine: MeshMachine, program, a, b) -> np.ndarray:
+        """Run :meth:`run` semantics through a captured program."""
+        from repro.mesh.program import ProgramReplayError
+
+        if program.meta.get("operand_shapes") != (a.shape, b.shape):
+            raise ProgramReplayError(
+                f"program captured for shapes "
+                f"{program.meta.get('operand_shapes')} cannot replay "
+                f"{(a.shape, b.shape)}"
+            )
+        with machine.quiet_memory():
+            cls.bind_operands(machine, a, b)
+        program.replay(machine)
+        placement = program.meta["placement"]
+        c_name = cls._NAMES[3]
         return gather_with_placement(machine, c_name, placement, placement)
 
     @classmethod

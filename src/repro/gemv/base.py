@@ -67,6 +67,29 @@ def require_square_grid(machine: MeshMachine) -> int:
     return machine.topology.width
 
 
+def scatter_gemv_vector(machine: MeshMachine, a: np.ndarray) -> int:
+    """Distribute the vector ``a`` (chunked down Y, replicated along X).
+
+    Separate from :func:`scatter_gemv_operands` so a weight-stationary
+    decode loop can re-place only the activations between replays of a
+    captured program, leaving the resident ``"gemv.B"`` tiles untouched.
+    """
+    grid = require_square_grid(machine)
+    a = np.asarray(a)
+    if a.ndim == 2:
+        if a.shape[0] != 1:
+            raise ShapeError(f"a must be a row vector, got {a.shape}")
+        a = a[0]
+    if a.shape[0] % grid:
+        raise ShapeError(f"dims must divide the grid {grid}; pad operands")
+    tk = a.shape[0] // grid
+    for y in range(grid):
+        chunk = a[y * tk:(y + 1) * tk]
+        for x in range(grid):
+            machine.place("gemv.a", (x, y), chunk)
+    return grid
+
+
 def scatter_gemv_operands(
     machine: MeshMachine, a: np.ndarray, b: np.ndarray
 ) -> int:
@@ -83,19 +106,18 @@ def scatter_gemv_operands(
         a = a[0]
     if a.shape[0] != b.shape[0]:
         raise ShapeError(f"inner dims differ: {a.shape} @ {b.shape}")
-    if a.shape[0] % grid or b.shape[1] % grid:
+    if b.shape[1] % grid:
         raise ShapeError(f"dims must divide the grid {grid}; pad operands")
     machine.scatter_matrix("gemv.B", b, grid, grid)
-    tk = a.shape[0] // grid
-    for y in range(grid):
-        chunk = a[y * tk:(y + 1) * tk]
-        for x in range(grid):
-            machine.place("gemv.a", (x, y), chunk)
-    return grid
+    return scatter_gemv_vector(machine, a)
 
 
 def local_partial_gemv(machine: MeshMachine, out_name: str = "gemv.c") -> None:
-    """Every core computes its partial ``a_sub @ B_sub`` into ``out_name``."""
+    """Every core computes its partial ``a_sub @ B_sub`` into ``out_name``.
+
+    With ``machine.vectorize`` the per-core products run as one batched
+    matmul over the stacked tiles (bit-exact with the eager loop).
+    """
 
     def partial(core: Core) -> float:
         vec = core.load("gemv.a")
@@ -103,11 +125,27 @@ def local_partial_gemv(machine: MeshMachine, out_name: str = "gemv.c") -> None:
         core.store(out_name, vec @ mat)
         return float(mat.shape[0] * mat.shape[1])
 
+    def partial_stacked(stacks):
+        vec = stacks["gemv.a"]  # (cores, tk)
+        mat = stacks["gemv.B"]  # (cores, tk, tn)
+        out = np.matmul(vec[:, None, :], mat)[:, 0, :]
+        return {out_name: out}, float(mat.shape[1] * mat.shape[2])
+
     with machine.phase("gemv-partial"):
-        machine.compute_all(
-            "gemv-partial", partial,
-            reads=("gemv.a", "gemv.B"), writes=(out_name,),
-        )
+        if machine.vectorize:
+            machine.compute_stacked(
+                "gemv-partial",
+                machine.topology.coords(),
+                partial_stacked,
+                reads=("gemv.a", "gemv.B"),
+                writes=(out_name,),
+                fallback=partial,
+            )
+        else:
+            machine.compute_all(
+                "gemv-partial", partial,
+                reads=("gemv.a", "gemv.B"), writes=(out_name,),
+            )
 
 
 def gather_gemv_result(

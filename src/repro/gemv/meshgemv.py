@@ -16,7 +16,7 @@ subsequent GEMV consumes it.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.gemv.base import (
 )
 from repro.mesh.cost_model import Phase
 from repro.mesh.machine import MeshMachine
+from repro.mesh.program import MeshProgram, ProgramReplayError
 
 
 class MeshGEMV(GemvKernel):
@@ -63,6 +64,54 @@ class MeshGEMV(GemvKernel):
             broadcast_from_root(machine, columns, roots, "gemv.c",
                                 pattern="meshgemv-bcast")
         return gather_gemv_result(machine, roots)
+
+    @classmethod
+    def capture_run(
+        cls,
+        machine: MeshMachine,
+        a: np.ndarray,
+        b: np.ndarray,
+        broadcast: bool = False,
+    ) -> Tuple[np.ndarray, MeshProgram]:
+        """Like :meth:`run`, additionally capturing a replayable program.
+
+        Captures the body (local partial + K-tree reduction [+
+        broadcast]); operand scatter and result gather stay live so
+        :meth:`replay_run` can pump fresh same-shape payloads — the
+        decode loop's per-token fast path.
+        """
+        grid = scatter_gemv_operands(machine, a, b)
+        columns = [machine.topology.column(x) for x in range(grid)]
+        with machine.capture() as program:
+            local_partial_gemv(machine)
+            roots = ktree_reduce(machine, columns, "gemv.c", k=cls.k,
+                                 pattern_prefix="meshgemv-ktree")
+            if broadcast:
+                broadcast_from_root(machine, columns, roots, "gemv.c",
+                                    pattern="meshgemv-bcast")
+        program.meta["roots"] = roots
+        program.meta["operand_shapes"] = (np.asarray(a).shape, b.shape)
+        return gather_gemv_result(machine, roots), program
+
+    @classmethod
+    def replay_run(
+        cls,
+        machine: MeshMachine,
+        program: MeshProgram,
+        a: np.ndarray,
+        b: np.ndarray,
+    ) -> np.ndarray:
+        """Run :meth:`run` semantics through a captured program."""
+        shapes = (np.asarray(a).shape, b.shape)
+        if program.meta.get("operand_shapes") != shapes:
+            raise ProgramReplayError(
+                f"program captured for shapes "
+                f"{program.meta.get('operand_shapes')} cannot replay {shapes}"
+            )
+        with machine.quiet_memory():
+            scatter_gemv_operands(machine, a, b)
+        program.replay(machine)
+        return gather_gemv_result(machine, program.meta["roots"])
 
     @classmethod
     def plan(

@@ -20,8 +20,9 @@ PLMR-compliance properties of a whole model forward pass.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,8 +32,10 @@ from repro.core.device_presets import TINY_MESH
 from repro.errors import ShapeError
 from repro.gemm.gemm_t import MeshGEMMTransposed
 from repro.gemm.meshgemm import MeshGEMM
+from repro.gemv.base import gather_gemv_result, scatter_gemv_vector
 from repro.gemv.meshgemv import MeshGEMV
 from repro.mesh.machine import MeshMachine
+from repro.mesh.program import MeshProgram
 from repro.mesh.trace import Trace
 
 
@@ -51,19 +54,85 @@ def _round_up(value: int, multiple: int) -> int:
 
 @dataclass
 class MeshOpContext:
-    """Configuration + trace accumulation for mesh-executed ops."""
+    """Configuration + trace accumulation for mesh-executed ops.
+
+    With ``compiled=True`` every distinct ``(op, operand shapes, dtypes)``
+    signature is captured once as a :class:`MeshProgram` and every later
+    launch replays the cached skeleton — same trace records, same
+    numerics, none of the route-walk/registration/closure overhead.
+    GEMV launches additionally go **weight-stationary**: the machine that
+    captured a weight matrix stays alive with the weight tiles resident,
+    and each replay re-places only the activation vector — the decode
+    loop's per-token fast path.  Compiled mode therefore assumes weight
+    arrays passed to :meth:`gemv` are not mutated in place while the
+    context lives (models treat weights as immutable; a *new* array is
+    re-captured automatically).  ``vectorize=True`` additionally runs
+    uniform-tile compute phases as one batched matmul over the stacked
+    tiles.  Both modes are bit-exact with the eager path.
+    """
 
     device: PLMRDevice = field(default_factory=lambda: TINY_MESH)
     grid: int = 4
     enforce_memory: bool = False
+    compiled: bool = False
+    vectorize: bool = False
     traces: List[Tuple[str, Trace]] = field(default_factory=list)
+    _programs: Dict[tuple, MeshProgram] = field(
+        default_factory=dict, repr=False
+    )
+    #: Warm machines with stationary operands (weights / reduce lines),
+    #: each paired with the program captured on it.
+    _resident: Dict[tuple, dict] = field(default_factory=dict, repr=False)
+    _submesh: Optional[PLMRDevice] = field(default=None, repr=False)
 
     def _machine(self) -> MeshMachine:
-        sub = self.device.submesh(self.grid, self.grid)
-        return MeshMachine(sub, enforce_memory=self.enforce_memory)
+        if self._submesh is None:
+            self._submesh = self.device.submesh(self.grid, self.grid)
+        return MeshMachine(
+            self._submesh,
+            enforce_memory=self.enforce_memory,
+            vectorize=self.vectorize,
+        )
 
     def _record(self, label: str, machine: MeshMachine) -> None:
         self.traces.append((label, machine.trace))
+
+    def _run_kernel(self, kind: str, kernel, machine: MeshMachine, *operands):
+        """Dispatch one kernel launch through the program cache.
+
+        The cache key is the operand signature; a cached program is only
+        replayed while its fingerprint still matches the machine (a new
+        device, defect map or enforcement mode invalidates it).
+        """
+        if not self.compiled:
+            return kernel.run(machine, *operands)
+        key = (kind,) + tuple(
+            (np.asarray(o).shape, np.asarray(o).dtype.str) for o in operands
+        )
+        program = self._programs.get(key)
+        if program is not None and program.compatible(machine):
+            return kernel.replay_run(machine, program, *operands)
+        out, program = kernel.capture_run(machine, *operands)
+        self._programs[key] = program
+        return out
+
+    def program_cache_stats(self) -> Dict[str, int]:
+        """Distinct cached programs and their total ops (diagnostics).
+
+        Resident (weight-stationary) entries share program objects with
+        the shape-keyed cache, so programs are counted by identity.
+        """
+        programs = {
+            id(p): p
+            for p in self._programs.values()
+        }
+        for entry in self._resident.values():
+            program = entry["program"]
+            programs[id(program)] = program
+        return {
+            "programs": len(programs),
+            "ops": sum(p.num_ops for p in programs.values()),
+        }
 
     # ------------------------------------------------------------------
     # Matrix products
@@ -76,7 +145,7 @@ class MeshOpContext:
         pa = _pad_to(a, _round_up(a.shape[0], g), _round_up(a.shape[1], g))
         pb = _pad_to(b, _round_up(b.shape[0], g), _round_up(b.shape[1], g))
         machine = self._machine()
-        out = MeshGEMM.run(machine, pa, pb)
+        out = self._run_kernel("gemm", MeshGEMM, machine, pa, pb)
         self._record("meshgemm", machine)
         return out[: a.shape[0], : b.shape[1]]
 
@@ -88,7 +157,7 @@ class MeshOpContext:
         pa = _pad_to(a, _round_up(a.shape[0], g), _round_up(a.shape[1], g))
         pb = _pad_to(b, _round_up(b.shape[0], g), _round_up(b.shape[1], g))
         machine = self._machine()
-        out = MeshGEMMTransposed.run(machine, pa, pb)
+        out = self._run_kernel("gemm-t", MeshGEMMTransposed, machine, pa, pb)
         self._record("meshgemm-t", machine)
         return out[: a.shape[0], : b.shape[0]]
 
@@ -102,29 +171,115 @@ class MeshOpContext:
         g = self.grid
         pv = np.zeros(_round_up(vec.shape[0], g), dtype=vec.dtype)
         pv[: vec.shape[0]] = vec
+        if self.compiled:
+            return self._gemv_stationary(pv, b)[: b.shape[1]]
         pb = _pad_to(b, pv.shape[0], _round_up(b.shape[1], g))
         machine = self._machine()
         out = MeshGEMV.run(machine, pv, pb)
         self._record("meshgemv", machine)
         return out[: b.shape[1]]
 
+    def _gemv_stationary(self, pv: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Weight-stationary compiled GEMV.
+
+        The first launch against a matrix scatters it, captures the
+        kernel body, and keeps the machine alive; later launches against
+        the *same* array re-place only the activation chunks and replay
+        the program — no weight re-scatter, no route rework.  A launch
+        against a different array of a known shape (e.g. the per-token
+        KV matrices of decode attention) falls back to replaying the
+        shape-keyed program on a fresh machine.
+        """
+        key = ("gemv", id(b))
+        entry = self._resident.get(key)
+        if (
+            entry is not None
+            and entry["weights"]() is b
+            and entry["signature"] == (pv.shape, pv.dtype.str)
+        ):
+            machine = entry["machine"]
+            program = entry["program"]
+            machine.reset_trace()
+            with machine.quiet_memory():
+                scatter_gemv_vector(machine, pv)
+            program.replay(machine)
+            out = gather_gemv_result(machine, program.meta["roots"])
+            self._record("meshgemv", machine)
+            return out
+        machine = self._machine()
+        pb = _pad_to(b, pv.shape[0], _round_up(b.shape[1], self.grid))
+        shape_key = (
+            "gemv", pv.shape, pv.dtype.str, pb.shape, pb.dtype.str,
+        )
+        program = self._programs.get(shape_key)
+        if program is not None and program.compatible(machine):
+            out = MeshGEMV.replay_run(machine, program, pv, pb)
+        else:
+            out, program = MeshGEMV.capture_run(machine, pv, pb)
+            self._programs[shape_key] = program
+        # Either way the machine now holds b's tiles and a matching
+        # program — register it for stationary replay if b stays alive.
+        if len(self._resident) > 256:
+            dead = [
+                k for k, e in self._resident.items()
+                if "weights" in e and e["weights"]() is None
+            ]
+            for k in dead:
+                del self._resident[k]
+        self._resident[key] = {
+            # Weak ref: a dead array invalidates (and may recycle) the
+            # id-keyed entry instead of pinning its machine.
+            "weights": weakref.ref(b),
+            "machine": machine,
+            "program": program,
+            "signature": (pv.shape, pv.dtype.str),
+        }
+        self._record("meshgemv", machine)
+        return out
+
     # ------------------------------------------------------------------
     # Allreduce-based vector ops (the "GEMV solutions" of Section 2.3)
     # ------------------------------------------------------------------
-    def _line_reduce(self, values: np.ndarray, op: str) -> float:
-        """Reduce a vector to a scalar with the two-way K-tree on one row."""
-        g = self.grid
-        machine = self._machine()
-        chunks = np.array_split(np.asarray(values, dtype=np.float64), g)
-        line = machine.topology.row(0)
+    @staticmethod
+    def _place_reduce_locals(machine, line, chunks, op: str) -> None:
         for coord, chunk in zip(line, chunks):
             if op == "add":
                 local = float(np.sum(chunk)) if chunk.size else 0.0
             else:
                 local = float(np.max(chunk)) if chunk.size else -np.inf
             machine.place("red.v", coord, np.array([local]))
-        roots = ktree_reduce(machine, [line], "red.v", k=2, op=op)
-        result = float(machine.core(roots[0]).load("red.v")[0])
+
+    def _line_reduce(self, values: np.ndarray, op: str) -> float:
+        """Reduce a vector to a scalar with the two-way K-tree on one row."""
+        chunks = np.array_split(np.asarray(values, dtype=np.float64), self.grid)
+        # The reduction skeleton only depends on the line length and op
+        # (per-core payloads are always one float64), so one resident
+        # machine + program serves every call regardless of value count.
+        key = ("line-reduce", op)
+        entry = self._resident.get(key) if self.compiled else None
+        if entry is not None:
+            machine = entry["machine"]
+            program = entry["program"]
+            machine.reset_trace()
+            with machine.quiet_memory():
+                self._place_reduce_locals(machine, entry["line"], chunks, op)
+            program.replay(machine)
+            root = program.meta["root"]
+        else:
+            machine = self._machine()
+            line = machine.topology.row(0)
+            self._place_reduce_locals(machine, line, chunks, op)
+            if self.compiled:
+                with machine.capture() as program:
+                    roots = ktree_reduce(machine, [line], "red.v", k=2, op=op)
+                program.meta["root"] = roots[0]
+                self._resident[key] = {
+                    "machine": machine, "program": program, "line": line,
+                }
+            else:
+                roots = ktree_reduce(machine, [line], "red.v", k=2, op=op)
+            root = roots[0]
+        result = float(machine.core(root).load("red.v")[0])
         self._record(f"ktree-{op}", machine)
         return result
 

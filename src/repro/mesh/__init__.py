@@ -1,9 +1,10 @@
 """The wafer-scale mesh substrate: topology, cores, fabric, machine, costs."""
 
-from repro.mesh.topology import Coord, MeshTopology
+from repro.mesh.topology import Coord, MeshTopology, shared_topology
 from repro.mesh.core_sim import Core
 from repro.mesh.fabric import FabricModel, Flow
 from repro.mesh.machine import MeshMachine
+from repro.mesh.program import MeshProgram, ProgramReplayError
 from repro.mesh.trace import (
     BarrierRecord,
     CommRecord,
@@ -56,10 +57,13 @@ from repro.mesh.energy import (
 __all__ = [
     "Coord",
     "MeshTopology",
+    "shared_topology",
     "Core",
     "Flow",
     "FabricModel",
     "MeshMachine",
+    "MeshProgram",
+    "ProgramReplayError",
     "Trace",
     "CommRecord",
     "ComputeRecord",

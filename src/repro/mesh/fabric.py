@@ -68,12 +68,26 @@ class FabricModel:
         self.topology = topology
         self.enforce = enforce
         self._colours_per_core: Dict[Coord, Set[str]] = defaultdict(set)
+        # (pattern, flow endpoints) -> touched map of a previous register
+        # call.  Kernels re-register bit-identical phases every loop step
+        # (and every decode token); the signature hit skips the route
+        # walk entirely.
+        self._register_cache: Dict[tuple, Dict[Coord, Set[str]]] = {}
 
     def route_cores(self, flow: Flow) -> Set[Coord]:
-        """All cores touched by a flow's XY route(s), endpoints included."""
+        """All cores touched by a flow's XY route(s), endpoints included.
+
+        Memoized on the topology (shared by every fabric built on the
+        same interned instance); treat the returned set as read-only.
+        """
+        key = ("cores", flow.src, flow.dsts)
+        cached = self.topology._flow_cache.get(key)
+        if cached is not None:
+            return cached
         touched: Set[Coord] = set()
         for dst in flow.dsts:
             touched.update(self.topology.xy_route(flow.src, dst))
+        self.topology._flow_cache[key] = touched
         return touched
 
     def flow_hops(self, flow: Flow) -> int:
@@ -86,7 +100,13 @@ class FabricModel:
         """
         if not flow.dsts:
             return 0
-        return max(self.topology.hop_distance(flow.src, dst) for dst in flow.dsts)
+        key = ("hops", flow.src, flow.dsts)
+        cached = self.topology._flow_cache.get(key)
+        if cached is not None:
+            return cached
+        hops = max(self.topology.hop_distance(flow.src, dst) for dst in flow.dsts)
+        self.topology._flow_cache[key] = hops
+        return hops
 
     def flow_bandwidth_factor(self, flow: Flow) -> float:
         """Worst surviving bandwidth fraction along a flow's route(s).
@@ -97,24 +117,37 @@ class FabricModel:
         """
         if not getattr(self.topology, "has_link_defects", False):
             return 1.0
+        key = ("bw", flow.src, flow.dsts)
+        cached = self.topology._flow_cache.get(key)
+        if cached is not None:
+            return cached
         factor = 1.0
         for dst in flow.dsts:
             route = self.topology.xy_route(flow.src, dst)
             for a, b in zip(route, route[1:]):
                 factor = min(factor, self.topology.link_bandwidth_factor(a, b))
+        self.topology._flow_cache[key] = factor
         return factor
 
     def register(self, pattern: str, flows: Sequence[Flow]) -> Dict[Coord, Set[str]]:
         """Account one communication phase under a route colour.
 
         Returns the mapping of touched cores to the colours added, which
-        the machine forwards to the trace.
+        the machine forwards to the trace.  Enforcement checks only the
+        cores this call touched — colours are only ever added, so any
+        core not on these routes cannot have newly exceeded its budget.
 
         Raises
         ------
         RoutingResourceError
             When enforcement is on and a core exceeds its colour budget.
         """
+        signature = (pattern, tuple((f.src, f.dsts) for f in flows))
+        cached = self._register_cache.get(signature)
+        if cached is not None:
+            # Colour installation is idempotent: this fabric already
+            # carries exactly these (coord, pattern) entries.
+            return cached
         touched: Dict[Coord, Set[str]] = {}
         for flow in flows:
             for coord in self.route_cores(flow):
@@ -122,10 +155,31 @@ class FabricModel:
                 touched.setdefault(coord, set()).add(pattern)
         if self.enforce:
             limit = self.device.max_paths_per_core
-            for coord, colours in self._colours_per_core.items():
+            for coord in touched:
+                colours = self._colours_per_core[coord]
                 if len(colours) > limit:
                     raise RoutingResourceError(coord, len(colours), limit)
+        self._register_cache[signature] = touched
         return touched
+
+    def install_colours(self, colours_per_core: Dict[Coord, Set[str]]) -> None:
+        """Merge pre-computed route colours (the capture/replay fast path).
+
+        A replayed :class:`~repro.mesh.program.MeshProgram` skips
+        :meth:`register` — its routes were walked at capture time — but
+        the fabric must still end up carrying the colours, or
+        ``registered_patterns()`` (and through it the trace sanitizer's
+        registration check) would report the replayed phases as rogue.
+        Enforcement applies exactly as if the phases had registered live.
+        """
+        for coord, colours in colours_per_core.items():
+            self._colours_per_core[coord].update(colours)
+        if self.enforce:
+            limit = self.device.max_paths_per_core
+            for coord in colours_per_core:
+                count = len(self._colours_per_core[coord])
+                if count > limit:
+                    raise RoutingResourceError(coord, count, limit)
 
     def check_message(self, nbytes: int) -> None:
         """Validate a single-message (non-streamed) payload size."""

@@ -45,7 +45,17 @@ from repro.core.plmr import PLMRDevice
 from repro.errors import PlacementError, ShapeError, SimulationError
 from repro.mesh.core_sim import Core
 from repro.mesh.fabric import FabricModel, Flow
-from repro.mesh.topology import Coord, MeshTopology
+from repro.mesh.program import (
+    BarrierOp,
+    CaptureState,
+    CommOp,
+    ComputeOp,
+    CopyOp,
+    FreeOp,
+    MeshProgram,
+    StackedComputeOp,
+)
+from repro.mesh.topology import Coord, MeshTopology, shared_topology
 from repro.mesh.trace import FlowRecord, Trace
 
 
@@ -59,6 +69,7 @@ class MeshMachine:
         enforce_routing: bool = False,
         defects: Optional["DefectMap"] = None,
         logical_shape: Optional[Tuple[int, int]] = None,
+        vectorize: bool = False,
     ):
         self.device = device
         self.defects = defects
@@ -76,10 +87,16 @@ class MeshMachine:
                     "logical_shape only applies to a defective fabric; "
                     "pass defects= or use device.submesh()"
                 )
-            self.topology = MeshTopology(device.mesh_width, device.mesh_height)
+            # Interned: machines on the same mesh dims share one frozen
+            # topology instance and therefore its warm route caches.
+            self.topology = shared_topology(device.mesh_width, device.mesh_height)
         self.fabric = FabricModel(device, self.topology, enforce=enforce_routing)
         self.trace = Trace()
         self._enforce_memory = enforce_memory
+        #: Opt-in batched tile compute: kernels with uniform tile shapes
+        #: run one stacked matmul across all cores instead of a per-core
+        #: Python loop (see :meth:`compute_stacked`).
+        self.vectorize = vectorize
         capacity = device.core_memory_bytes if enforce_memory else 2**62
         # Cores are keyed by *logical* coordinate: on a remapped topology
         # the kernels' dense (x, y) space survives untouched while every
@@ -88,6 +105,27 @@ class MeshMachine:
             coord: Core(coord, capacity) for coord in self.topology.coords()
         }
         self._step = 0
+        self._capture: Optional[CaptureState] = None
+        # Set by MeshProgram.replay: memory peaks come from the cached
+        # table in one pass instead of per-store trace notes.
+        self._quiet_memory = False
+
+    def reset_trace(self) -> Trace:
+        """Start a fresh accounting epoch on a warm machine.
+
+        Resident tiles (e.g. stationary weights in a decode loop) and
+        fabric registrations survive; the trace, step counter and phase
+        state start over — exactly the start state a captured program
+        expects, so a program captured on this machine right after
+        binding can be replayed once per token with only the activations
+        re-placed.  Returns the finished epoch's trace.
+        """
+        if self._capture is not None:
+            raise SimulationError("cannot reset the trace inside a capture block")
+        old = self.trace
+        self.trace = Trace()
+        self._step = 0
+        return old
 
     # ------------------------------------------------------------------
     # Stepping
@@ -137,6 +175,74 @@ class MeshMachine:
         polluting communication statistics with zero-byte flows.
         """
         self.trace.record_barrier(self._step, pattern)
+        if self._capture is not None:
+            self._capture.note(BarrierOp(self.trace.barriers[-1]))
+
+    # ------------------------------------------------------------------
+    # Capture / replay
+    # ------------------------------------------------------------------
+    def program_fingerprint(self) -> Tuple:
+        """Identity a captured program binds to (see DESIGN.md §10).
+
+        Covers everything that shapes an op skeleton besides the operand
+        payloads: the device (memory capacity, routing budget), the
+        routed geometry including defect content, and the enforcement
+        switches.
+        """
+        return (
+            self.device.name,
+            self.device.core_memory_bytes,
+            self.device.max_paths_per_core,
+            self.topology.fingerprint(),
+            self._enforce_memory,
+            self.fabric.enforce,
+        )
+
+    @contextmanager
+    def capture(self) -> Iterator[MeshProgram]:
+        """Record the ops executed in this block into a :class:`MeshProgram`.
+
+        The block runs with full live semantics (routing, registration,
+        enforcement, trace recording); the machine additionally records
+        every phase scope, communication, compute, barrier, local copy
+        and free so :meth:`MeshProgram.replay` can re-execute the body
+        on a fresh machine without re-deriving any of it.  Host-side
+        placement is forbidden inside the block — bind operands before
+        capturing, so a replay's freshly placed operands take their
+        place.
+        """
+        if self._capture is not None:
+            raise SimulationError("capture blocks cannot nest")
+        program = MeshProgram(
+            fingerprint=self.program_fingerprint(),
+            start_step=self._step,
+            start_seq=self.trace._next_seq,
+            start_group=self.trace._next_group,
+        )
+        state = CaptureState(program, self)
+        self._capture = state
+        try:
+            yield program
+        finally:
+            self._capture = None
+        # Only a body that ran to completion seals a replayable program.
+        state.finish(self)
+
+    @contextmanager
+    def quiet_memory(self) -> Iterator[None]:
+        """Suspend per-store memory *trace* notes (capacity stays enforced).
+
+        Only valid when something else supplies the high-water marks —
+        replay entry points wrap operand binding in this because the
+        program they are about to replay merges the capture-time peak
+        table (which covered an identical binding) into the trace.
+        """
+        prev = self._quiet_memory
+        self._quiet_memory = True
+        try:
+            yield
+        finally:
+            self._quiet_memory = prev
 
     # ------------------------------------------------------------------
     # Placement and data movement to/from the host
@@ -148,7 +254,17 @@ class MeshMachine:
 
     def place(self, name: str, coord: Coord, tile: np.ndarray) -> None:
         """Host-side placement of one tile on one core (no NoC cost)."""
-        self.core(coord).store(name, np.asarray(tile))
+        if self._capture is not None:
+            raise SimulationError(
+                "host placement inside a capture block cannot be replayed; "
+                "bind operands before capture()"
+            )
+        core = self.cores.get(coord)
+        if core is None:
+            core = self.core(coord)  # raises the proper PlacementError
+        if type(tile) is not np.ndarray:
+            tile = np.asarray(tile)
+        core.store(name, tile)
         self._note_memory(coord)
 
     def scatter_grid(self, name: str, grid: Sequence[Sequence[np.ndarray]]) -> None:
@@ -200,9 +316,26 @@ class MeshMachine:
 
     def free(self, name: str, coords: Optional[Iterable[Coord]] = None) -> None:
         """Release a named tile on the given cores (default: everywhere)."""
+        coords = tuple(coords) if coords is not None else None
         targets = coords if coords is not None else self.topology.coords()
         for coord in targets:
             self.cores[coord].free(name)
+        if self._capture is not None:
+            self._capture.note(FreeOp(name, coords))
+
+    def copy_tile(self, coord: Coord, src_name: str, dst_name: str) -> None:
+        """Alias a resident tile under a second name on the same core.
+
+        A zero-cost local move (no NoC traffic, no trace event): both
+        names reference one buffer, so neither remains exclusively owned.
+        Kernels use this where a collective's root keeps its own result.
+        """
+        core = self.core(coord)
+        core.store(dst_name, core.load(src_name))
+        core.mark_shared(src_name)
+        self._note_memory(coord)
+        if self._capture is not None:
+            self._capture.note(CopyOp(coord, src_name, dst_name))
 
     # ------------------------------------------------------------------
     # Communication
@@ -217,40 +350,89 @@ class MeshMachine:
         """
         if not flows:
             return
-        payloads: List[np.ndarray] = []
-        for flow in flows:
-            tile = self.core(flow.src).load(flow.src_name)
-            # Copy: the wavelets leaving the source are immutable in flight.
-            payloads.append(np.array(tile, copy=True))
+        payload_nbytes = self._execute_flows(flows)
         touched = self.fabric.register(pattern, flows)
         flow_hops: List[int] = []
         flow_bytes: List[int] = []
         flow_records: List[FlowRecord] = []
-        for flow, payload in zip(flows, payloads):
+        for flow, nbytes in zip(flows, payload_nbytes):
             hops = self.fabric.flow_hops(flow)
             flow_hops.append(hops)
-            flow_bytes.append(payload.nbytes * len(flow.dsts))
+            flow_bytes.append(nbytes * len(flow.dsts))
             flow_records.append(
                 FlowRecord(
                     src=flow.src,
                     dsts=tuple(flow.dsts),
                     hops=hops,
-                    nbytes=payload.nbytes,
+                    nbytes=nbytes,
                     bw_factor=self.fabric.flow_bandwidth_factor(flow),
                     src_name=flow.src_name,
                     dst_name=flow.dst_name,
                 )
             )
-            for idx, dst in enumerate(flow.dsts):
-                # Each destination owns its copy — multicast receivers must
-                # not alias one ndarray, or an in-place update on one core
-                # would leak to the others.
-                delivered = payload if idx == 0 else np.array(payload, copy=True)
-                self.core(dst).store(flow.dst_name, delivered)
-                self._note_memory(dst)
         self.trace.record_comm(
             self._step, pattern, flow_hops, flow_bytes, touched, flows=flow_records
         )
+        if self._capture is not None:
+            self._capture.note(
+                CommOp(tuple(flows), self.trace.comms[-1], tuple(payload_nbytes))
+            )
+
+    def _execute_flows(
+        self,
+        flows: Sequence[Flow],
+        expected_nbytes: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Read all sources, then deliver to all destinations.
+
+        Every destination ends up owning a buffer no other slot can
+        mutate (multicast receivers never alias one ndarray).  The
+        defensive in-flight copy is elided when the source slot is
+        itself overwritten in this phase *and* its buffer is exclusively
+        owned — the permutation-shift case, where ownership simply moves
+        to the first destination.  ``expected_nbytes`` (replay) asserts
+        each payload's byte count against the captured skeleton.
+        """
+        cores = self.cores
+        written = set()
+        for flow in flows:
+            for dst in flow.dsts:
+                written.add((dst, flow.dst_name))
+        payloads: List[np.ndarray] = []
+        owns: List[bool] = []
+        claimed = set()
+        for i, flow in enumerate(flows):
+            core = cores.get(flow.src)
+            if core is None:
+                core = self.core(flow.src)  # raises PlacementError
+            tile = core.load(flow.src_name)
+            if expected_nbytes is not None and tile.nbytes != expected_nbytes[i]:
+                raise SimulationError(
+                    f"flow {flow.src_name!r} from {flow.src} carries "
+                    f"{tile.nbytes} B but the captured program expects "
+                    f"{expected_nbytes[i]} B; operand shapes changed"
+                )
+            src_slot = (flow.src, flow.src_name)
+            own = bool(
+                flow.dsts
+                and src_slot in written
+                and src_slot not in claimed
+                and core.is_exclusive(flow.src_name)
+            )
+            if own:
+                claimed.add(src_slot)
+            payloads.append(tile)
+            owns.append(own)
+        note = self._note_memory
+        for flow, payload, own in zip(flows, payloads, owns):
+            for idx, dst in enumerate(flow.dsts):
+                delivered = payload if own and idx == 0 else payload.copy()
+                dest = cores.get(dst)
+                if dest is None:
+                    dest = self.core(dst)  # raises PlacementError
+                dest.store(flow.dst_name, delivered, exclusive=True)
+                note(dst)
+        return [p.nbytes for p in payloads]
 
     def shift_named(
         self,
@@ -291,15 +473,19 @@ class MeshMachine:
         sanitizer uses them to detect flow/compute hazards inside overlap
         phases that lack an intervening barrier.
         """
+        coords = tuple(coords)
         macs: List[float] = []
         for coord in coords:
             core = self.cores[coord]
             done = fn(core)
             macs.append(float(done))
             self._note_memory(coord)
+        before = len(self.trace.computes)
         self.trace.record_compute(
             self._step, label, macs, reads=tuple(reads), writes=tuple(writes)
         )
+        if self._capture is not None and len(self.trace.computes) > before:
+            self._capture.note(ComputeOp(coords, fn, self.trace.computes[-1]))
 
     def compute_all(
         self,
@@ -311,10 +497,132 @@ class MeshMachine:
         """Run ``fn`` on every core of the mesh."""
         self.compute(label, self.topology.coords(), fn, reads=reads, writes=writes)
 
+    def compute_stacked(
+        self,
+        label: str,
+        coords: Iterable[Coord],
+        fn: Callable[[Dict[str, Optional[np.ndarray]]], Tuple[Dict[str, np.ndarray], float]],
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
+        fallback: Optional[Callable[[Core], float]] = None,
+    ) -> None:
+        """Vectorized compute: one batched numpy call across all cores.
+
+        When every core in ``coords`` holds each tile in ``reads`` with
+        one uniform shape (or none holds it at all), ``fn`` is called
+        once with ``{name: stacked}`` — ``stacked[i]`` being the tile of
+        ``coords[i]``, or ``None`` for a uniformly absent name — and
+        must return ``(outputs, macs_per_core)``: each ``outputs[name]``
+        a stacked array whose slice ``i`` is stored on ``coords[i]``,
+        and the (shape-derived, identical per core) MAC count.  Batched
+        numpy matmul runs the same BLAS kernel per slice as the per-core
+        loop, so results are bit-exact with the eager path.
+
+        Non-uniform tile shapes (or partial residency) fall back to the
+        per-core ``fallback`` closure through :meth:`compute`, which
+        must implement identical semantics.  The trace record is
+        indistinguishable from the eager one either way.
+        """
+        coords = tuple(coords)
+        if not coords:
+            return
+        cores = self.cores
+        stacks: Dict[str, Optional[np.ndarray]] = {}
+        uniform = True
+        for name in reads:
+            tiles = [cores[coord].load_optional(name) for coord in coords]
+            present = [t for t in tiles if t is not None]
+            if not present:
+                stacks[name] = None
+                continue
+            if len(present) != len(tiles) or any(
+                t.shape != present[0].shape or t.dtype != present[0].dtype
+                for t in present[1:]
+            ):
+                uniform = False
+                break
+            stacks[name] = np.stack(present)
+        if not uniform:
+            if fallback is None:
+                raise ShapeError(
+                    f"compute_stacked({label!r}) requires uniform tile shapes "
+                    "and no fallback was provided"
+                )
+            self.compute(label, coords, fallback, reads=reads, writes=writes)
+            return
+        macs = self._run_stacked(coords, fn, tuple(reads), tuple(writes),
+                                 stacks=stacks)
+        before = len(self.trace.computes)
+        self.trace.record_compute(
+            self._step, label, macs, reads=tuple(reads), writes=tuple(writes)
+        )
+        if self._capture is not None and len(self.trace.computes) > before:
+            self._capture.note(
+                StackedComputeOp(
+                    coords, fn, tuple(reads), tuple(writes),
+                    self.trace.computes[-1], {},
+                )
+            )
+
+    def _run_stacked(
+        self,
+        coords: Tuple[Coord, ...],
+        fn: Callable,
+        reads: Tuple[str, ...],
+        writes: Tuple[str, ...],
+        stacks: Optional[Dict[str, Optional[np.ndarray]]] = None,
+        cache: Optional[Dict[str, tuple]] = None,
+    ) -> List[float]:
+        """Numerics of one stacked compute; returns per-core MAC counts.
+
+        Output slices are stored as (disjoint) views of the batched
+        result — mutation isolation between cores still holds, so the
+        slices count as exclusively owned for copy-elision purposes.
+        ``cache`` (replay) memoizes read stacks by tile identity, so
+        stationary operands (decode weights) are stacked once, not once
+        per token; the machine never mutates a stored tile in place, so
+        identical array objects imply identical contents.
+        """
+        cores = self.cores
+        if stacks is None:
+            stacks = {}
+            for name in reads:
+                if not cores[coords[0]].has(name):
+                    stacks[name] = None
+                    continue
+                tiles = [cores[c].load(name) for c in coords]
+                if cache is not None:
+                    ids = tuple(map(id, tiles))
+                    entry = cache.get(name)
+                    if entry is not None and entry[0] == ids:
+                        stacks[name] = entry[1]
+                        continue
+                    stacked = np.stack(tiles)
+                    cache[name] = (ids, stacked)
+                    stacks[name] = stacked
+                else:
+                    stacks[name] = np.stack(tiles)
+        outputs, macs_per_core = fn(stacks)
+        for name in writes:
+            out = outputs.get(name)
+            if out is None:
+                continue
+            if len(out) != len(coords):
+                raise ShapeError(
+                    f"stacked output {name!r} has {len(out)} slices for "
+                    f"{len(coords)} cores"
+                )
+            for i, coord in enumerate(coords):
+                cores[coord].store(name, out[i], exclusive=True)
+                self._note_memory(coord)
+        return [float(macs_per_core)] * len(coords)
+
     # ------------------------------------------------------------------
     # Accounting helpers
     # ------------------------------------------------------------------
     def _note_memory(self, coord: Coord) -> None:
+        if self._quiet_memory:
+            return
         self.trace.note_memory(self.cores[coord].resident_bytes, coord)
 
     def peak_memory_bytes(self) -> int:

@@ -1,0 +1,345 @@
+"""Captured mesh programs: record a kernel once, replay it per token.
+
+Decode executes the *same* mesh program for every generated token: the
+flows, routes, hop counts, phase scopes and MAC shapes of step ``t`` are
+bit-identical to step ``t+1`` — only the tile payloads differ.  The slow
+path nevertheless re-derives all of it per call: ring mappings, flow
+lists, route walks, ``FlowRecord`` construction, trace tagging.
+
+:class:`MeshProgram` removes that rework.  A kernel body executed under
+:meth:`MeshMachine.capture() <repro.mesh.machine.MeshMachine.capture>`
+runs normally (full accounting, full enforcement) while the machine
+records its op skeleton — every communication's flow list and finished
+:class:`~repro.mesh.trace.CommRecord`, every compute's coordinate list,
+closure and finished :class:`~repro.mesh.trace.ComputeRecord`, every
+phase scope.  :meth:`MeshProgram.replay` then re-executes only the
+numpy numerics against freshly placed operands and emits the cached
+trace records verbatim, so a replayed trace is indistinguishable from a
+captured one (same events, groups, seqs, steps — the reconciler and the
+sanitizer run on it unchanged).
+
+The capture/replay contract (see DESIGN.md §10):
+
+* the replay machine must match the capture machine's **fingerprint** —
+  device, logical mesh dims, topology class, and full defect content
+  (a remap or a new defect map changes routes, hops and bandwidth
+  factors, so the cached skeleton would lie);
+* operand tiles must arrive with the **same shapes/dtypes** as at
+  capture (validated per flow via payload byte counts, and per compute
+  via MAC counts);
+* the replay machine must be **fresh** (no prior trace events), because
+  cached records carry their absolute step/group/seq tags;
+* closures recorded in compute ops must be **coordinate- and
+  name-stable**: they may capture tile names and coordinates, never
+  arrays from the capture-time inputs.  All kernels in this repo
+  satisfy this by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.mesh.fabric import Flow
+from repro.mesh.topology import Coord
+from repro.mesh.trace import (
+    BarrierRecord,
+    CommRecord,
+    ComputeRecord,
+    PhaseScope,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mesh.core_sim import Core
+    from repro.mesh.machine import MeshMachine
+
+
+class ProgramReplayError(SimulationError):
+    """A captured program cannot (or must not) replay on this machine."""
+
+
+# ---------------------------------------------------------------------------
+# Op records.  Plain slotted dataclasses: a replayed op dispatches on type
+# and touches only numpy plus O(1) list appends of pre-built trace records.
+# ---------------------------------------------------------------------------
+@dataclass
+class ScopeOp:
+    """A phase scope opened during capture (cached, appended on replay)."""
+
+    __slots__ = ("scope",)
+    scope: PhaseScope
+
+
+@dataclass
+class CommOp:
+    """One communication phase: live flows + the finished trace record."""
+
+    __slots__ = ("flows", "record", "nbytes")
+    flows: Tuple[Flow, ...]
+    record: CommRecord
+    #: Expected per-flow payload bytes (shape guard at replay).
+    nbytes: Tuple[int, ...]
+
+
+@dataclass
+class ComputeOp:
+    """One compute phase: coords + closure + the finished trace record."""
+
+    __slots__ = ("coords", "fn", "record")
+    coords: Tuple[Coord, ...]
+    fn: Callable[["Core"], float]
+    record: ComputeRecord
+
+
+@dataclass
+class StackedComputeOp:
+    """One vectorized compute phase (see ``MeshMachine.compute_stacked``)."""
+
+    __slots__ = ("coords", "fn", "reads", "writes", "record", "cache")
+    coords: Tuple[Coord, ...]
+    fn: Callable
+    reads: Tuple[str, ...]
+    writes: Tuple[str, ...]
+    record: ComputeRecord
+    #: name -> (tile id tuple, stacked array).  Replays on a machine with
+    #: stationary tiles (identical array objects — the machine never
+    #: mutates a stored tile in place) reuse the stacked view instead of
+    #: re-stacking per launch.  (No default: slotted dataclasses cannot
+    #: carry class-level defaults; the machine passes a fresh dict.)
+    cache: Dict[str, tuple]
+
+
+@dataclass
+class BarrierOp:
+    """An explicit synchronization point (cached record only)."""
+
+    __slots__ = ("record",)
+    record: BarrierRecord
+
+
+@dataclass
+class CopyOp:
+    """A zero-cost local aliasing copy (``MeshMachine.copy_tile``)."""
+
+    __slots__ = ("coord", "src_name", "dst_name")
+    coord: Coord
+    src_name: str
+    dst_name: str
+
+
+@dataclass
+class FreeOp:
+    """A tile release (``MeshMachine.free``)."""
+
+    __slots__ = ("name", "coords")
+    name: str
+    coords: Optional[Tuple[Coord, ...]]
+
+
+ProgramOp = object  # union of the op dataclasses above
+
+
+class MeshProgram:
+    """The recorded op skeleton of one kernel body.
+
+    Built by :meth:`MeshMachine.capture`; not constructed directly.
+    ``meta`` is free-form storage for the capturing kernel (reduction
+    roots, placements, operand shapes) so its replay entry point can
+    rebuild results without re-deriving structure.
+    """
+
+    def __init__(self, fingerprint: Tuple, start_step: int, start_seq: int,
+                 start_group: int):
+        self.fingerprint = fingerprint
+        self.ops: List[ProgramOp] = []
+        self.meta: Dict[str, object] = {}
+        self.start_step = start_step
+        self.start_seq = start_seq
+        self.start_group = start_group
+        self.end_step = start_step
+        self.end_seq = start_seq
+        self.end_group = start_group
+        #: Route colours added over the captured body (coord -> colours),
+        #: applied in one shot at the end of a replay.
+        self.colours: Dict[Coord, Set[str]] = {}
+        #: Per-core memory high-water marks at the end of capture.  A
+        #: replay allocates bit-identically (binding is the caller's
+        #: contract; body shapes are validated), so these are merged into
+        #: the replay trace in one pass instead of re-noting every store.
+        self.core_peaks: Dict[Coord, int] = {}
+        self.complete = False
+
+    # ------------------------------------------------------------------
+    @property
+    def num_ops(self) -> int:
+        """Recorded ops (scopes included)."""
+        return len(self.ops)
+
+    def compatible(self, machine: "MeshMachine") -> bool:
+        """Whether this program may replay on ``machine``."""
+        return self.complete and machine.program_fingerprint() == self.fingerprint
+
+    # ------------------------------------------------------------------
+    def replay(self, machine: "MeshMachine") -> None:
+        """Re-execute the captured numerics on ``machine``.
+
+        The caller must first place/scatter operands exactly as at
+        capture time; afterwards results are gathered from the same
+        coordinates as a live run.  The machine's trace receives the
+        cached records, and its fabric the cached route colours, so all
+        downstream accounting (sanitizer, reconciler, compliance
+        metrics) sees a normal execution.
+        """
+        if not self.complete:
+            raise ProgramReplayError(
+                "cannot replay an incomplete capture (the captured body raised?)"
+            )
+        fingerprint = machine.program_fingerprint()
+        if fingerprint != self.fingerprint:
+            raise ProgramReplayError(
+                f"program captured on {self.fingerprint} cannot replay on "
+                f"{fingerprint}; topology, defects, or device changed"
+            )
+        trace = machine.trace
+        if (
+            machine.step != self.start_step
+            or trace._next_seq != self.start_seq
+            or trace._scope_stack
+        ):
+            raise ProgramReplayError(
+                "replay requires a machine in the capture-time start state "
+                f"(step {self.start_step}, seq {self.start_seq}, no open "
+                "phase); use a fresh machine"
+            )
+        scopes = trace._scopes
+        comms = trace.comms
+        computes = trace.computes
+        barriers = trace.barriers
+        # Memory high-water marks evolve bit-identically to capture, so
+        # the cached table replaces per-store trace notes (capacity
+        # enforcement in Core.store still runs live).
+        machine._quiet_memory = True
+        try:
+            for op in self.ops:
+                kind = type(op)
+                if kind is CommOp:
+                    machine._execute_flows(op.flows, expected_nbytes=op.nbytes)
+                    comms.append(op.record)
+                elif kind is ComputeOp:
+                    self._replay_compute(machine, op)
+                    computes.append(op.record)
+                elif kind is StackedComputeOp:
+                    macs = machine._run_stacked(
+                        op.coords, op.fn, op.reads, op.writes, cache=op.cache
+                    )
+                    self._check_macs(op.record, macs)
+                    computes.append(op.record)
+                elif kind is ScopeOp:
+                    scopes.append(op.scope)
+                elif kind is BarrierOp:
+                    barriers.append(op.record)
+                elif kind is CopyOp:
+                    machine.copy_tile(op.coord, op.src_name, op.dst_name)
+                elif kind is FreeOp:
+                    machine.free(op.name, op.coords)
+        finally:
+            machine._quiet_memory = False
+        # Restore the counters a live run would have left behind, then
+        # land the route colours and memory peaks in one shot (equivalent
+        # to the per-phase register/record updates of the captured run).
+        machine._step = self.end_step
+        trace._next_seq = self.end_seq
+        trace._next_group = self.end_group
+        for coord, colours in self.colours.items():
+            trace._colours_per_core[coord].update(colours)
+        machine.fabric.install_colours(self.colours)
+        peaks = trace.core_peak_bytes
+        for coord, high in self.core_peaks.items():
+            if high > peaks.get(coord, 0):
+                peaks[coord] = high
+            if high > trace.peak_memory_bytes:
+                trace.peak_memory_bytes = high
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _replay_compute(machine: "MeshMachine", op: ComputeOp) -> None:
+        cores = machine.cores
+        fn = op.fn
+        for coord, expected in zip(op.coords, op.record.macs):
+            done = float(fn(cores[coord]))
+            if done != expected:
+                raise ProgramReplayError(
+                    f"compute {op.record.label!r} at {coord} did "
+                    f"{done} MACs on replay vs {expected} at capture; "
+                    "operand shapes changed — re-capture the program"
+                )
+
+    @staticmethod
+    def _check_macs(record: ComputeRecord, macs: Sequence[float]) -> None:
+        if tuple(float(m) for m in macs) != record.macs:
+            raise ProgramReplayError(
+                f"stacked compute {record.label!r} MAC counts changed on "
+                "replay; operand shapes changed — re-capture the program"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MeshProgram({self.num_ops} ops, steps "
+            f"{self.start_step}..{self.end_step}, complete={self.complete})"
+        )
+
+
+class CaptureState:
+    """Machine-side recording hooks for one active capture."""
+
+    __slots__ = ("program", "trace", "_scopes_seen", "_colour_start")
+
+    def __init__(self, program: MeshProgram, machine: "MeshMachine"):
+        self.program = program
+        self.trace = machine.trace
+        self._scopes_seen = len(self.trace._scopes)
+        self._colour_start = {
+            coord: frozenset(colours)
+            for coord, colours in self.trace._colours_per_core.items()
+        }
+
+    def _sync_scopes(self) -> None:
+        scopes = self.trace._scopes
+        ops = self.program.ops
+        while self._scopes_seen < len(scopes):
+            ops.append(ScopeOp(scopes[self._scopes_seen]))
+            self._scopes_seen += 1
+
+    def note(self, op: ProgramOp) -> None:
+        """Record one op (first flushing any newly opened scopes)."""
+        self._sync_scopes()
+        self.program.ops.append(op)
+
+    def finish(self, machine: "MeshMachine") -> None:
+        """Seal the program: end counters + route-colour delta."""
+        self._sync_scopes()
+        program = self.program
+        program.end_step = machine.step
+        program.end_seq = self.trace._next_seq
+        program.end_group = self.trace._next_group
+        start = self._colour_start
+        delta: Dict[Coord, Set[str]] = {}
+        for coord, colours in self.trace._colours_per_core.items():
+            added = colours - start.get(coord, frozenset())
+            if added:
+                delta[coord] = set(added)
+        program.colours = delta
+        program.core_peaks = dict(self.trace.core_peak_bytes)
+        program.complete = True

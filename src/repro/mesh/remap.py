@@ -109,6 +109,16 @@ class DefectMap:
         """Whether any link is dead or degraded (routing must care)."""
         return bool(self.dead_links or self.degraded_links)
 
+    def fingerprint(self) -> Tuple:
+        """Hashable content identity (two equal-fingerprint maps route alike)."""
+        return (
+            self.width,
+            self.height,
+            tuple(sorted(self.dead_cores)),
+            tuple(sorted(self.dead_links)),
+            tuple(sorted(self.degraded_links.items())),
+        )
+
     def dead_per_row(self) -> List[int]:
         """Dead-core count of each physical row, top to bottom."""
         counts = [0] * self.height
@@ -349,7 +359,14 @@ class RemappedTopology(MeshTopology):
         )
 
     def physical_route(self, src: Coord, dst: Coord) -> List[Coord]:
-        """Physical cores on the repaired route between two logical cores."""
+        """Physical cores on the repaired route between two logical cores.
+
+        Memoized per instance (defect maps are immutable once built);
+        treat the returned list as read-only.
+        """
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
         psrc = self.to_physical(src)
         pdst = self.to_physical(dst)
         nominal = self.physical.xy_route(psrc, pdst)
@@ -360,6 +377,7 @@ class RemappedTopology(MeshTopology):
                 route.append(nxt)
             else:
                 route.extend(self._detour(cur, nxt))
+        self._route_cache[(src, dst)] = route
         return route
 
     def hop_distance(self, src: Coord, dst: Coord) -> int:
@@ -373,6 +391,22 @@ class RemappedTopology(MeshTopology):
         self.validate(src)
         self.validate(dst)
         return self.physical_route(src, dst)
+
+    def fingerprint(self) -> Tuple:
+        """Geometry identity including the defect content and the remap.
+
+        Differs from every dense fingerprint and from any remapped fabric
+        with different defects, so captured programs never replay across
+        a defect change (hops, detours, and bandwidth factors would lie).
+        """
+        return (
+            "remapped",
+            self.width,
+            self.height,
+            self.physical.width,
+            self.physical.height,
+            self.defects.fingerprint(),
+        )
 
 
 def build_remapped_topology(

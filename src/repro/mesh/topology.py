@@ -13,7 +13,8 @@ fabric's row/column route programming.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from functools import lru_cache
+from typing import Dict, Iterator, List, Tuple
 
 from repro.errors import ConfigurationError, PlacementError
 
@@ -32,6 +33,15 @@ class MeshTopology:
             raise ConfigurationError(
                 f"mesh dimensions must be positive, got {self.width}x{self.height}"
             )
+        # Route/flow memoization.  Topologies are immutable, so every
+        # geometric query is a pure function of its arguments; the caches
+        # are attached per instance (``object.__setattr__`` because the
+        # dataclass is frozen) and shared across every fabric/machine
+        # built on the same instance — see :func:`shared_topology`.
+        # Cached route lists are handed out by reference: callers must
+        # treat them as immutable.
+        object.__setattr__(self, "_route_cache", {})
+        object.__setattr__(self, "_flow_cache", {})
 
     @property
     def num_cores(self) -> int:
@@ -66,8 +76,14 @@ class MeshTopology:
         """All cores on the dimension-ordered route from src to dst.
 
         The route travels along X first, then along Y, and includes both
-        endpoints.  Its length minus one is the hop count.
+        endpoints.  Its length minus one is the hop count.  Routes are
+        memoized on the (immutable) topology; treat the returned list as
+        read-only.
         """
+        cache: Dict[Tuple[Coord, Coord], List[Coord]] = self._route_cache
+        cached = cache.get((src, dst))
+        if cached is not None:
+            return cached
         self.validate(src)
         self.validate(dst)
         route = [src]
@@ -80,7 +96,19 @@ class MeshTopology:
         while y != dst[1]:
             y += step_y
             route.append((x, y))
+        cache[(src, dst)] = route
         return route
+
+    def fingerprint(self) -> Tuple:
+        """Hashable identity of the routed geometry.
+
+        Two topologies with equal fingerprints route every flow
+        identically (same hops, same cores touched, same bandwidth
+        factors).  Captured :class:`~repro.mesh.program.MeshProgram`
+        skeletons embed this to refuse replay on a different fabric;
+        subclasses with defects must extend it with the defect content.
+        """
+        return ("mesh", self.width, self.height)
 
     def row(self, y: int) -> List[Coord]:
         """Coordinates of row ``y``, west to east."""
@@ -127,6 +155,19 @@ class MeshTopology:
     def max_axis_hops(self) -> int:
         """Worst-case hop distance along a single axis (paper's L metric)."""
         return max(self.width, self.height) - 1
+
+
+@lru_cache(maxsize=None)
+def shared_topology(width: int, height: int) -> MeshTopology:
+    """Interned dense topology for ``width x height``.
+
+    Machines built for the same mesh dims share one instance, so the
+    per-instance route caches warm once per process rather than once per
+    :class:`~repro.mesh.machine.MeshMachine` — the difference between a
+    cold and a hot route walk on every decode token.  Safe because the
+    topology is frozen and the caches hold only pure-geometry results.
+    """
+    return MeshTopology(width, height)
 
 
 def line_positions(n: int) -> List[int]:
