@@ -75,7 +75,8 @@ SIMBENCH_INTRO = """## Simulator throughput — compiled mesh programs (no paper
 Wall-clock cost of the **functional simulator itself** (not the modeled
 wafer): the same kernel launched through the eager reference path versus
 the compiled execution layer (route caching + capture/replay, DESIGN.md
-§10).  Timings come from the committed `BENCH_simulator.json`
+§10; batched structure-of-arrays flow engine + superfused reduce
+chains, §11).  Timings come from the committed `BENCH_simulator.json`
 (regenerate with `PYTHONPATH=src python -m repro bench`); speedup ratios
 are machine-independent, absolute times are one container's.  Phase
 counts are read live from the trace, so phases/s and decode steps/s
@@ -86,8 +87,10 @@ derive deterministically from the committed timings.
 SIMBENCH_OUTRO = """
 The decode row is the per-token fast path: the weight matrix stays
 resident on a warm machine and each launch re-places only the activation
-vector before replaying the captured program, so cached decode steps/s
-is the simulator's decode token rate for one GEMV-bound layer slice.
+vector before replaying the captured program through the batched flow
+engine, so cached decode steps/s is the simulator's decode token rate
+for one GEMV-bound layer slice.  The decode-vs-eager ratio is the
+`batched_vs_eager` number CI tracks for the flow engine.
 
 """
 

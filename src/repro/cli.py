@@ -441,6 +441,10 @@ def cmd_bench(args) -> int:
                  f"{dec['replay_ms']:.3f} ms",
                  f"{dec['eager_ms']:.3f} ms",
                  f"{dec['replay_vs_eager']:.2f}x"])
+    rows.append(["decode GEMV batched vs eager",
+                 f"{dec['replay_ms']:.3f} ms",
+                 f"{dec['eager_ms']:.3f} ms",
+                 f"{dec['batched_vs_eager']:.2f}x"])
     gem = marks["prefill_gemm"]
     rows.append(["prefill GEMM replay vs eager",
                  f"{gem['replay_ms']:.3f} ms",

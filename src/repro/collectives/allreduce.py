@@ -27,23 +27,18 @@ fp64 tests are exact.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
 from repro.mesh.core_sim import Core
 from repro.mesh.fabric import Flow
+from repro.mesh.flow_engine import REDUCE_OPS as _REDUCE_OPS
 from repro.mesh.machine import MeshMachine
 from repro.mesh.topology import Coord
 
 Lines = Sequence[Sequence[Coord]]
-
-#: Reduction operators usable by the collectives.  "add" is the GEMV
-#: aggregation; "max" supports the softmax/RMSNorm allreduce reuse noted
-#: in Section 2.3 ("operations needing allreduce ... can leverage GEMV
-#: solutions").
-_REDUCE_OPS = {"add": np.add, "max": np.maximum}
 
 
 def _resolve_op(op: str):
@@ -85,6 +80,7 @@ def pipeline_reduce(
     total.  Returns the root (tail) coordinate of each line.
     """
     length = _check_lines(lines)
+    _resolve_op(op)  # validate up front with the collectives' error type
     inbox = f"{name}.pipe_in"
     with machine.phase(pattern, kind="reduce", pipelined=True):
         for t in range(length - 1):
@@ -92,27 +88,14 @@ def pipeline_reduce(
                 Flow.unicast(line[t], line[t + 1], name, inbox) for line in lines
             ]
             machine.communicate(pattern, flows)
-            receivers = [line[t + 1] for line in lines]
-            machine.compute(
-                f"{pattern}-add", receivers, _make_adder(name, inbox, op),
-                reads=(name, inbox), writes=(name,),
+            machine.absorb(
+                f"{pattern}-add",
+                [(line[t + 1], name, inbox) for line in lines],
+                op=op,
+                reads=(name, inbox),
+                writes=(name,),
             )
     return [line[-1] for line in lines]
-
-
-def _make_adder(
-    acc_name: str, inbox_name: str, op: str = "add"
-) -> Callable[[Core], float]:
-    combine = _resolve_op(op)
-
-    def add(core: Core) -> float:
-        acc = core.load(acc_name)
-        incoming = core.load(inbox_name)
-        core.store(acc_name, combine(acc, incoming))
-        core.free(inbox_name)
-        return float(np.asarray(acc).size)
-
-    return add
 
 
 # ---------------------------------------------------------------------------
@@ -266,7 +249,7 @@ def two_way_group_reduce(
     phase, so the trace's stage count is the aggregation critical path.
     Returns each group's root coordinate.
     """
-    combine = _resolve_op(op)
+    _resolve_op(op)  # validate up front with the collectives' error type
     roots: List[Coord] = []
     # Per-group frontier state: (left_index, right_index, root_index).
     state: List[List[int]] = []
@@ -283,35 +266,27 @@ def two_way_group_reduce(
     with machine.phase(pattern, kind="reduce", pipelined=True):
         for _stage in range(max_stages):
             flows: List[Flow] = []
-            receivers: Dict[Coord, List[str]] = {}
+            items: List[Tuple[Coord, str, str]] = []
             for group, st in zip(groups, state):
                 left, right, root = st
                 if left < root:
                     dst = group[left + 1]
                     flows.append(Flow.unicast(group[left], dst, name, inbox_l))
-                    receivers.setdefault(dst, []).append(inbox_l)
+                    items.append((dst, name, inbox_l))
                     st[0] = left + 1
                 if right > root:
                     dst = group[right - 1]
                     flows.append(Flow.unicast(group[right], dst, name, inbox_r))
-                    receivers.setdefault(dst, []).append(inbox_r)
+                    items.append((dst, name, inbox_r))
                     st[1] = right - 1
             if not flows:
                 break
             machine.communicate(pattern, flows)
-
-            def absorb(core: Core, inboxes=dict(receivers)) -> float:
-                macs = 0.0
-                for inbox_name in inboxes.get(core.coord, ()):
-                    acc = core.load(name)
-                    incoming = core.load(inbox_name)
-                    core.store(name, combine(acc, incoming))
-                    macs += float(incoming.size)
-                    core.free(inbox_name)
-                return macs
-
-            machine.compute(
-                f"{pattern}-add", list(receivers), absorb,
+            # Items are appended in flow order, so the delivery and the
+            # absorb pair up 1:1 — exactly the shape the compiled replay
+            # fuses into a single deliver-and-combine step.
+            machine.absorb(
+                f"{pattern}-add", items, op=op,
                 reads=(name, inbox_l, inbox_r), writes=(name,),
             )
     return roots

@@ -83,10 +83,11 @@ def scatter_gemv_vector(machine: MeshMachine, a: np.ndarray) -> int:
     if a.shape[0] % grid:
         raise ShapeError(f"dims must divide the grid {grid}; pad operands")
     tk = a.shape[0] // grid
+    items = []
     for y in range(grid):
         chunk = a[y * tk:(y + 1) * tk]
-        for x in range(grid):
-            machine.place("gemv.a", (x, y), chunk)
+        items.extend(((x, y), chunk) for x in range(grid))
+    machine.place_many("gemv.a", items)
     return grid
 
 

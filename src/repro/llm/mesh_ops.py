@@ -169,8 +169,12 @@ class MeshOpContext:
         if vec.shape[0] != b.shape[0]:
             raise ShapeError(f"inner dims differ: {vec.shape} @ {b.shape}")
         g = self.grid
-        pv = np.zeros(_round_up(vec.shape[0], g), dtype=vec.dtype)
-        pv[: vec.shape[0]] = vec
+        padded = _round_up(vec.shape[0], g)
+        if padded == vec.shape[0]:
+            pv = vec  # already aligned: scatter places read-only views
+        else:
+            pv = np.zeros(padded, dtype=vec.dtype)
+            pv[: vec.shape[0]] = vec
         if self.compiled:
             return self._gemv_stationary(pv, b)[: b.shape[1]]
         pb = _pad_to(b, pv.shape[0], _round_up(b.shape[1], g))
@@ -200,8 +204,20 @@ class MeshOpContext:
             machine = entry["machine"]
             program = entry["program"]
             machine.reset_trace()
-            with machine.quiet_memory():
-                scatter_gemv_vector(machine, pv)
+            feed = entry["feed"]
+            if feed is not None:
+                # Array-level activation binding: writes the same
+                # per-core views the quiet scatter would and seeds the
+                # stacked read caches straight from the vector.
+                feed(pv)
+            else:
+                # Inlined machine.quiet_memory(): the contextmanager
+                # costs more than the flag flip on the per-token path.
+                machine._quiet_memory = True
+                try:
+                    scatter_gemv_vector(machine, pv)
+                finally:
+                    machine._quiet_memory = False
             program.replay(machine)
             out = gather_gemv_result(machine, program.meta["roots"])
             self._record("meshgemv", machine)
@@ -226,6 +242,8 @@ class MeshOpContext:
             ]
             for k in dead:
                 del self._resident[k]
+        g = self.grid
+        tk = pv.shape[0] // g
         self._resident[key] = {
             # Weak ref: a dead array invalidates (and may recycle) the
             # id-keyed entry instead of pinning its machine.
@@ -233,6 +251,14 @@ class MeshOpContext:
             "machine": machine,
             "program": program,
             "signature": (pv.shape, pv.dtype.str),
+            # None when the program has no stacked compute reading the
+            # activation (vectorize off) — warm calls then scatter.
+            "feed": program.make_stacked_feed(
+                machine,
+                "gemv.a",
+                [((x, y), y * tk, (y + 1) * tk)
+                 for y in range(g) for x in range(g)],
+            ),
         }
         self._record("meshgemv", machine)
         return out
@@ -242,12 +268,14 @@ class MeshOpContext:
     # ------------------------------------------------------------------
     @staticmethod
     def _place_reduce_locals(machine, line, chunks, op: str) -> None:
+        items = []
         for coord, chunk in zip(line, chunks):
             if op == "add":
                 local = float(np.sum(chunk)) if chunk.size else 0.0
             else:
                 local = float(np.max(chunk)) if chunk.size else -np.inf
-            machine.place("red.v", coord, np.array([local]))
+            items.append((coord, np.array([local])))
+        machine.place_many("red.v", items)
 
     def _line_reduce(self, values: np.ndarray, op: str) -> float:
         """Reduce a vector to a scalar with the two-way K-tree on one row."""

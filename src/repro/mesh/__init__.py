@@ -3,6 +3,13 @@
 from repro.mesh.topology import Coord, MeshTopology, shared_topology
 from repro.mesh.core_sim import Core
 from repro.mesh.fabric import FabricModel, Flow
+from repro.mesh.flow_engine import (
+    REDUCE_OPS,
+    FlowBatch,
+    PhaseStream,
+    encode_ports,
+    segment_max,
+)
 from repro.mesh.machine import MeshMachine
 from repro.mesh.program import MeshProgram, ProgramReplayError
 from repro.mesh.trace import (
@@ -61,6 +68,11 @@ __all__ = [
     "Core",
     "Flow",
     "FabricModel",
+    "FlowBatch",
+    "PhaseStream",
+    "REDUCE_OPS",
+    "encode_ports",
+    "segment_max",
     "MeshMachine",
     "MeshProgram",
     "ProgramReplayError",

@@ -30,7 +30,9 @@ WSE-2 MeshGEMV on a 16K square matrix lands near the paper's 0.0012 ms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.plmr import PLMRDevice
 from repro.errors import ConfigurationError
@@ -83,6 +85,35 @@ class CommPhase:
         head = self.hop_distance * device.hop_cycles
         body = self.payload_bytes / (device.link_bytes_per_cycle * self.bw_derate)
         return self.repeats * (self.overhead_cycles + head + body)
+
+
+def stream_cycles_batch(
+    device: PLMRDevice,
+    hops: np.ndarray,
+    payload_bytes: np.ndarray,
+    bw_factor: Optional[np.ndarray] = None,
+    overhead_cycles: float = 0.0,
+) -> np.ndarray:
+    """Vectorized twin of :meth:`CommPhase.cycles` (``repeats=1``).
+
+    Evaluates ``overhead + hops * hop_cycles + bytes / (link_bw * bw)``
+    for whole arrays at once, with the operations ordered exactly as the
+    scalar form so each element is bit-identical to the per-phase
+    arithmetic.  ``bw_factor`` defaults to a healthy fabric (all ones).
+
+    Inputs are never mutated; the result is a fresh float64 array.
+    """
+    hops = np.asarray(hops, dtype=np.float64)
+    payload_bytes = np.asarray(payload_bytes, dtype=np.float64)
+    head = hops * device.hop_cycles
+    if bw_factor is None:
+        body = payload_bytes / device.link_bytes_per_cycle
+    else:
+        bw = np.asarray(bw_factor, dtype=np.float64)
+        if bw.size and (np.any(bw <= 0.0) or np.any(bw > 1.0)):
+            raise ConfigurationError("bw_factor values must be in (0, 1]")
+        body = payload_bytes / (device.link_bytes_per_cycle * bw)
+    return overhead_cycles + head + body
 
 
 #: Per-stage launch cost of a streaming reduction: receive descriptor,

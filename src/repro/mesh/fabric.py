@@ -22,9 +22,17 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.core.plmr import PLMRDevice
 from repro.errors import ConfigurationError, MessageSizeError, RoutingResourceError
+from repro.mesh.flow_engine import FlowBatch, segment_max
 from repro.mesh.topology import Coord, MeshTopology
+
+#: Below this many flows the memoized per-flow lookups beat numpy array
+#: construction; at or above it a dense (defect-free ``MeshTopology``)
+#: fabric computes hop distances fully vectorized.
+VECTOR_MIN_FLOWS = 16
 
 
 @dataclass(frozen=True)
@@ -117,7 +125,10 @@ class FabricModel:
         """
         if not getattr(self.topology, "has_link_defects", False):
             return 1.0
-        key = ("bw", flow.src, flow.dsts)
+        # The key carries the link-state version: a runtime retrain (see
+        # DefectMap.retrain_link) bumps it, so stale factors cached under
+        # the old link state are never served.
+        key = ("bw", self.topology.links_version, flow.src, flow.dsts)
         cached = self.topology._flow_cache.get(key)
         if cached is not None:
             return cached
@@ -128,6 +139,85 @@ class FabricModel:
                 factor = min(factor, self.topology.link_bandwidth_factor(a, b))
         self.topology._flow_cache[key] = factor
         return factor
+
+    def flow_batch(
+        self, flows: Sequence[Flow], payload_nbytes: Sequence[int]
+    ) -> FlowBatch:
+        """Structure-of-arrays description of one phase's flows.
+
+        The returned :class:`~repro.mesh.flow_engine.FlowBatch` carries
+        ``(src, dst, bytes, hops, bw_factor)`` as flat numpy buffers —
+        the representation every batched analytic (ingress contention,
+        stream cycles, phase criticals) runs on.  Values are identical
+        to the per-flow :meth:`flow_hops` / :meth:`flow_bandwidth_factor`
+        results: small phases fill the arrays from the memoized lookups,
+        large phases on a dense defect-free mesh vectorize the Manhattan
+        hop computation outright.
+        """
+        n = len(flows)
+        nbytes = np.asarray(payload_nbytes, dtype=np.int64)
+        topo = self.topology
+        dense = type(topo) is MeshTopology
+        if dense and n >= VECTOR_MIN_FLOWS:
+            batch = self._flow_batch_vectorized(flows, nbytes)
+            if batch is not None:
+                return batch
+        src = np.empty((n, 2), dtype=np.int64)
+        hops = np.empty(n, dtype=np.int64)
+        bw = np.empty(n, dtype=np.float64)
+        dst: List[Coord] = []
+        dst_flow: List[int] = []
+        for i, flow in enumerate(flows):
+            src[i] = flow.src
+            hops[i] = self.flow_hops(flow)
+            bw[i] = self.flow_bandwidth_factor(flow)
+            dst.extend(flow.dsts)
+            dst_flow.extend([i] * len(flow.dsts))
+        return FlowBatch(
+            src=src,
+            nbytes=nbytes,
+            hops=hops,
+            bw_factor=bw,
+            dst=np.array(dst, dtype=np.int64).reshape(-1, 2),
+            dst_flow=np.array(dst_flow, dtype=np.int64),
+        )
+
+    def _flow_batch_vectorized(
+        self, flows: Sequence[Flow], nbytes: np.ndarray
+    ) -> "FlowBatch | None":
+        """Dense-mesh fast path: hops as vectorized Manhattan distances.
+
+        Returns ``None`` when any coordinate falls outside the mesh, so
+        the per-flow path can raise the canonical ``PlacementError``.
+        """
+        topo = self.topology
+        n = len(flows)
+        src = np.array([f.src for f in flows], dtype=np.int64).reshape(-1, 2)
+        counts = np.fromiter((len(f.dsts) for f in flows), dtype=np.int64, count=n)
+        dst = np.array(
+            [d for f in flows for d in f.dsts], dtype=np.int64
+        ).reshape(-1, 2)
+        for xy in (src, dst):
+            if len(xy) and (
+                xy[:, 0].min() < 0
+                or xy[:, 1].min() < 0
+                or xy[:, 0].max() >= topo.width
+                or xy[:, 1].max() >= topo.height
+            ):
+                return None
+        dst_flow = np.repeat(np.arange(n, dtype=np.int64), counts)
+        per_dst_hops = np.abs(dst - src[dst_flow]).sum(axis=1)
+        offsets = np.zeros(n, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        hops = segment_max(per_dst_hops, offsets, n).astype(np.int64)
+        return FlowBatch(
+            src=src,
+            nbytes=nbytes,
+            hops=hops,
+            bw_factor=np.ones(n, dtype=np.float64),
+            dst=dst,
+            dst_flow=dst_flow,
+        )
 
     def register(self, pattern: str, flows: Sequence[Flow]) -> Dict[Coord, Set[str]]:
         """Account one communication phase under a route colour.
@@ -142,7 +232,11 @@ class FabricModel:
         RoutingResourceError
             When enforcement is on and a core exceeds its colour budget.
         """
-        signature = (pattern, tuple((f.src, f.dsts) for f in flows))
+        signature = (
+            pattern,
+            self.topology.links_version,
+            tuple((f.src, f.dsts) for f in flows),
+        )
         cached = self._register_cache.get(signature)
         if cached is not None:
             # Colour installation is idempotent: this fabric already

@@ -1,0 +1,426 @@
+"""Batched flow engine: structure-of-arrays communication analytics.
+
+PR 5's honest finding was that the simulator is *comm-bound*: per-flow
+Python loops in the fabric/cost path dominate every phase, so replay
+capped out near ~3x.  This module re-expresses a phase's flows as flat
+numpy buffers — one row per flow for ``(src, bytes, hops, bw_factor)``
+plus a parallel destination expansion for multicasts — and computes the
+three quantities every other subsystem trusts with vectorized ops:
+
+* **per-hop serialization** (stream cycles: head latency + pipelined
+  body, throttled by the route's worst surviving bandwidth fraction);
+* **ingress-port contention** (``np.add.at`` accumulation of wire bytes
+  per ``(dst, port)`` key — the busiest receiving link of a phase);
+* **phase criticals** (segment reductions — ``np.maximum.reduceat`` —
+  over the concatenated stream of many phases).
+
+The eager per-flow implementations stay in :mod:`repro.mesh.trace` /
+:mod:`repro.mesh.reconcile` as the *differential reference*: the batched
+engine must agree bit-exactly on integer quantities (hops, payload
+bytes) and on floats wherever the accumulation order is preserved (it
+is: ``np.add.at`` applies updates in index order, which matches the
+flow-order dict accumulation of the eager path).  Named tolerances for
+the few places exact equality is not guaranteed live in the tests
+(``tests/test_flow_engine.py``).
+
+The module deliberately imports nothing from the rest of
+:mod:`repro.mesh` so that ``trace``/``fabric``/``machine`` can all build
+on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+Coord = Tuple[int, int]
+
+#: Reduction operators an absorb phase may apply, by name.  The string
+#: (not the ufunc) is what captured programs store, so replays resolve
+#: through this table.
+REDUCE_OPS = {"add": np.add, "max": np.maximum}
+
+#: Ingress-port codes.  Under XY (X-then-Y) routing the final approach
+#: into a destination is along Y whenever the rows differ, else along X;
+#: the code indexes :data:`PORT_TUPLES` to recover the eager path's
+#: ``("y", +1)``-style port labels.
+PORT_TUPLES = (("y", 1), ("y", -1), ("x", 1), ("x", -1))
+
+
+def segment_max(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    num_segments: int,
+    fill: float = 0.0,
+) -> np.ndarray:
+    """Per-segment maxima over contiguous segments; empty segments -> ``fill``.
+
+    ``offsets[i]`` is the start of segment ``i``; segment ``i`` ends at
+    ``offsets[i + 1]`` (or ``len(values)``).  The reduction runs over
+    the non-empty segments' offsets only: an empty segment shares its
+    start with the next segment (or sits at ``len(values)``), so its
+    offset must not reach ``reduceat`` — it would either produce a
+    bogus single-element slot or, clamped, split the *previous*
+    segment's range.
+    """
+    out = np.full(num_segments, fill, dtype=np.float64)
+    if len(values) == 0 or num_segments == 0:
+        return out
+    sizes = np.diff(np.append(offsets, len(values)))
+    nonempty = sizes > 0
+    if not nonempty.any():
+        return out
+    # Non-empty offsets are strictly increasing and all < len(values):
+    # consecutive ones bound exactly one segment's values (zero-size
+    # segments in between contribute no elements).
+    reduced = np.maximum.reduceat(
+        values.astype(np.float64), offsets[nonempty]
+    )
+    out[nonempty] = reduced
+    return out
+
+
+def encode_ports(
+    src_xy: np.ndarray, dst_xy: np.ndarray
+) -> np.ndarray:
+    """Vectorized twin of :func:`repro.mesh.trace.ingress_port`.
+
+    ``src_xy`` / ``dst_xy`` are ``(N, 2)`` integer arrays of ``(x, y)``
+    coordinates; returns an ``(N,)`` int array of port codes into
+    :data:`PORT_TUPLES`.
+    """
+    dy = dst_xy[:, 1] - src_xy[:, 1]
+    dx = dst_xy[:, 0] - src_xy[:, 0]
+    return np.where(dy != 0, np.where(dy > 0, 0, 1), np.where(dx > 0, 2, 3))
+
+
+class FlowBatch:
+    """One phase's flows as structure-of-arrays buffers.
+
+    Per-flow arrays (length ``num_flows``):
+
+    * ``src`` — ``(F, 2)`` source coordinates;
+    * ``nbytes`` — per-destination payload bytes (int64);
+    * ``hops`` — critical-path hops to the farthest destination (int64;
+      physical hops on a remapped topology, detours included);
+    * ``bw_factor`` — worst surviving bandwidth fraction on the route
+      (float64; the ``bw_derate`` column of a degraded fabric).
+
+    Destination expansion (length ``num_dsts``; a multicast contributes
+    one row per destination):
+
+    * ``dst`` — ``(D, 2)`` destination coordinates;
+    * ``dst_flow`` — index into the per-flow arrays.
+
+    The arrays are treated as immutable once built; every derived
+    computation allocates its own outputs.
+    """
+
+    __slots__ = (
+        "src",
+        "nbytes",
+        "hops",
+        "bw_factor",
+        "dst",
+        "dst_flow",
+        "num_flows",
+        "num_dsts",
+        "_ports",
+        "_wire",
+    )
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        nbytes: np.ndarray,
+        hops: np.ndarray,
+        bw_factor: np.ndarray,
+        dst: np.ndarray,
+        dst_flow: np.ndarray,
+    ):
+        self.src = src
+        self.nbytes = nbytes
+        self.hops = hops
+        self.bw_factor = bw_factor
+        self.dst = dst
+        self.dst_flow = dst_flow
+        self.num_flows = int(len(nbytes))
+        self.num_dsts = int(len(dst_flow))
+        self._ports: Optional[np.ndarray] = None
+        self._wire: Optional[np.ndarray] = None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        src: Sequence[Coord],
+        nbytes: Sequence[int],
+        hops: Sequence[int],
+        bw_factor: Sequence[float],
+        dst: Sequence[Coord],
+        dst_flow: Sequence[int],
+    ) -> "FlowBatch":
+        """Build from plain sequences (tests, synthetic phases)."""
+        return cls(
+            src=np.asarray(src, dtype=np.int64).reshape(-1, 2),
+            nbytes=np.asarray(nbytes, dtype=np.int64),
+            hops=np.asarray(hops, dtype=np.int64),
+            bw_factor=np.asarray(bw_factor, dtype=np.float64),
+            dst=np.asarray(dst, dtype=np.int64).reshape(-1, 2),
+            dst_flow=np.asarray(dst_flow, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_records(cls, records: Sequence) -> "FlowBatch":
+        """Build from :class:`~repro.mesh.trace.FlowRecord`-like objects.
+
+        Only the duck-typed attributes ``src``/``dsts``/``hops``/
+        ``nbytes``/``bw_factor`` are read, so tests can pass lightweight
+        stand-ins.
+        """
+        src: List[Coord] = []
+        nbytes: List[int] = []
+        hops: List[int] = []
+        bw: List[float] = []
+        dst: List[Coord] = []
+        dst_flow: List[int] = []
+        for i, rec in enumerate(records):
+            src.append(rec.src)
+            nbytes.append(rec.nbytes)
+            hops.append(rec.hops)
+            bw.append(rec.bw_factor)
+            for d in rec.dsts:
+                dst.append(d)
+                dst_flow.append(i)
+        batch = cls(
+            src=np.array(src, dtype=np.int64).reshape(-1, 2),
+            nbytes=np.array(nbytes, dtype=np.int64),
+            hops=np.array(hops, dtype=np.int64),
+            bw_factor=np.array(bw, dtype=np.float64),
+            dst=np.array(dst, dtype=np.int64).reshape(-1, 2),
+            dst_flow=np.array(dst_flow, dtype=np.int64),
+        )
+        return batch
+
+    # -- derived columns ------------------------------------------------
+    def ports(self) -> np.ndarray:
+        """Ingress-port code per destination row (lazy, cached)."""
+        if self._ports is None:
+            self._ports = encode_ports(self.src[self.dst_flow], self.dst)
+        return self._ports
+
+    def wire_bytes(self) -> np.ndarray:
+        """Per-flow link-time bytes: ``nbytes / bw_factor`` (lazy, cached)."""
+        if self._wire is None:
+            self._wire = self.nbytes / self.bw_factor
+        return self._wire
+
+    # -- phase analytics ------------------------------------------------
+    def ingress_bottleneck_bytes(self) -> float:
+        """Batched twin of ``CommRecord.ingress_bottleneck_bytes``.
+
+        Accumulates wire bytes per ``(dst, port)`` key with
+        ``np.add.at`` (updates apply in destination order, matching the
+        eager dict accumulation bit for bit) and takes the busiest key,
+        floored by the largest single flow.
+        """
+        if self.num_flows == 0:
+            return 0.0
+        wire = self.wire_bytes()
+        per_flow = float(wire.max())
+        if self.num_dsts == 0:
+            return per_flow
+        keys = self._dst_port_keys()
+        uniq, inv = np.unique(keys, return_inverse=True)
+        acc = np.zeros(len(uniq), dtype=np.float64)
+        np.add.at(acc, inv, wire[self.dst_flow])
+        return max(float(acc.max()), per_flow)
+
+    def stream_cycles(self, device) -> np.ndarray:
+        """Per-flow streaming cycles on ``device`` (no phase overhead).
+
+        Bit-exact twin of ``FabricModel.stream_cycles``: head latency
+        ``hops * hop_cycles`` plus the payload body pipelined at the
+        link width, throttled by ``bw_factor``.
+        """
+        head = self.hops * float(device.hop_cycles)
+        body = self.nbytes / (float(device.link_bytes_per_cycle) * self.bw_factor)
+        return head + body
+
+    def _dst_port_keys(self, phase_of_dst: Optional[np.ndarray] = None) -> np.ndarray:
+        """Encode ``(dst, port)`` — optionally ``(phase, dst, port)`` —
+        destination rows into a single int64 key for grouping."""
+        dx = self.dst[:, 0]
+        dy = self.dst[:, 1]
+        span_x = int(dx.max()) + 1 if len(dx) else 1
+        span_y = int(dy.max()) + 1 if len(dy) else 1
+        keys = (dy * span_x + dx) * 4 + self.ports()
+        if phase_of_dst is not None:
+            keys = phase_of_dst * (span_x * span_y * 4) + keys
+        return keys
+
+
+class PhaseStream:
+    """Many phases' flows concatenated into one :class:`FlowBatch`.
+
+    ``flow_phase[i]`` is the phase index of flow ``i``; flows of one
+    phase are contiguous (``phase_offsets`` are segment boundaries into
+    the per-flow arrays, ``dst_offsets`` into the destination
+    expansion), which is what lets phase criticals fall out of
+    ``np.maximum.reduceat`` instead of a Python loop per phase.
+    """
+
+    __slots__ = ("batch", "flow_phase", "phase_offsets", "dst_offsets", "num_phases")
+
+    def __init__(
+        self,
+        batch: FlowBatch,
+        flow_phase: np.ndarray,
+        phase_offsets: np.ndarray,
+        dst_offsets: np.ndarray,
+    ):
+        self.batch = batch
+        self.flow_phase = flow_phase
+        self.phase_offsets = phase_offsets
+        self.dst_offsets = dst_offsets
+        self.num_phases = int(len(phase_offsets))
+
+    @classmethod
+    def from_records(cls, comm_records: Sequence) -> "PhaseStream":
+        """Build from a sequence of ``CommRecord``-like objects.
+
+        Each record contributes its ``flows`` tuple as one phase
+        segment.  Records without per-flow detail contribute an empty
+        segment (their fallback cost is handled by callers).
+        """
+        src: List[Coord] = []
+        nbytes: List[int] = []
+        hops: List[int] = []
+        bw: List[float] = []
+        dst: List[Coord] = []
+        dst_flow: List[int] = []
+        flow_phase: List[int] = []
+        phase_offsets: List[int] = []
+        dst_offsets: List[int] = []
+        for p, rec in enumerate(comm_records):
+            phase_offsets.append(len(nbytes))
+            dst_offsets.append(len(dst_flow))
+            for flow in rec.flows:
+                fi = len(nbytes)
+                src.append(flow.src)
+                nbytes.append(flow.nbytes)
+                hops.append(flow.hops)
+                bw.append(flow.bw_factor)
+                flow_phase.append(p)
+                for d in flow.dsts:
+                    dst.append(d)
+                    dst_flow.append(fi)
+        batch = FlowBatch(
+            src=np.array(src, dtype=np.int64).reshape(-1, 2),
+            nbytes=np.array(nbytes, dtype=np.int64),
+            hops=np.array(hops, dtype=np.int64),
+            bw_factor=np.array(bw, dtype=np.float64),
+            dst=np.array(dst, dtype=np.int64).reshape(-1, 2),
+            dst_flow=np.array(dst_flow, dtype=np.int64),
+        )
+        return cls(
+            batch=batch,
+            flow_phase=np.array(flow_phase, dtype=np.int64),
+            phase_offsets=np.array(phase_offsets, dtype=np.int64),
+            dst_offsets=np.array(dst_offsets, dtype=np.int64),
+        )
+
+    # -- segment reductions ---------------------------------------------
+    def max_hops_per_phase(self) -> np.ndarray:
+        """Per-phase critical hop distance (``max_hops`` of each record)."""
+        return segment_max(self.batch.hops, self.phase_offsets, self.num_phases)
+
+    def max_wire_bytes_per_phase(self) -> np.ndarray:
+        """Per-phase largest single-flow wire bytes (the per-flow floor)."""
+        return segment_max(
+            self.batch.wire_bytes(), self.phase_offsets, self.num_phases
+        )
+
+    def stream_cycles_per_phase(self, device) -> np.ndarray:
+        """Per-phase critical streaming cycles: the slowest flow of each
+        phase (segment reduction over per-flow stream cycles)."""
+        return segment_max(
+            self.batch.stream_cycles(device), self.phase_offsets, self.num_phases
+        )
+
+    def ingress_bottleneck_per_phase(self) -> np.ndarray:
+        """Per-phase busiest-ingress wire bytes (batched, all phases at once).
+
+        Grouping key is ``(phase, dst, port)``; accumulation order is
+        destination order within each phase, matching the eager dict
+        accumulation of ``CommRecord.ingress_bottleneck_bytes``.
+        Phases without per-flow detail yield 0.0.
+        """
+        batch = self.batch
+        result = self.max_wire_bytes_per_phase()
+        if batch.num_dsts == 0:
+            return result
+        phase_of_dst = self.flow_phase[batch.dst_flow]
+        keys = batch._dst_port_keys(phase_of_dst)
+        uniq, inv = np.unique(keys, return_inverse=True)
+        acc = np.zeros(len(uniq), dtype=np.float64)
+        np.add.at(acc, inv, batch.wire_bytes()[batch.dst_flow])
+        # Recover each unique key's phase from any one of its destination
+        # rows (the phase index is part of the key, so all rows of a key
+        # share it).
+        some_row = np.zeros(len(uniq), dtype=np.int64)
+        some_row[inv] = np.arange(len(inv), dtype=np.int64)
+        uniq_phase = phase_of_dst[some_row]
+        np.maximum.at(result, uniq_phase, acc)
+        return result
+
+    def phase_comm_cycles(
+        self, device, overhead_cycles: float
+    ) -> np.ndarray:
+        """Serial-lowering twin: per-phase cycles the reconciler charges.
+
+        Mirrors ``CommPhase.cycles`` on the phase's critical hop count
+        and busiest-ingress payload: ``overhead + max_hops * hop_cycles
+        + ingress_bytes / link_bytes_per_cycle``.  (Bandwidth derating
+        is already folded into the ingress wire bytes.)
+        """
+        head = self.max_hops_per_phase() * float(device.hop_cycles)
+        body = self.ingress_bottleneck_per_phase() / float(device.link_bytes_per_cycle)
+        return (overhead_cycles + head) + body
+
+    def scope_ingress_bytes(self) -> int:
+        """Batched twin of the reconciler's gather-scope ingress bytes.
+
+        Accumulates raw payload bytes (not wire bytes — gather lowering
+        derates via ``min_bw_factor`` separately) per ``(dst, port)``
+        across *all* phases of the stream and returns the busiest key.
+        """
+        batch = self.batch
+        if batch.num_dsts == 0:
+            return 0
+        keys = batch._dst_port_keys()
+        uniq, inv = np.unique(keys, return_inverse=True)
+        acc = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(acc, inv, batch.nbytes[batch.dst_flow])
+        return int(acc.max())
+
+
+def validate_batch(batch: FlowBatch) -> None:
+    """Structural sanity checks (used by tests and synthetic callers)."""
+    if batch.src.shape != (batch.num_flows, 2):
+        raise SimulationError("FlowBatch src must be (num_flows, 2)")
+    if batch.dst.shape != (batch.num_dsts, 2):
+        raise SimulationError("FlowBatch dst must be (num_dsts, 2)")
+    if len(batch.hops) != batch.num_flows or len(batch.bw_factor) != batch.num_flows:
+        raise SimulationError("FlowBatch per-flow columns must align")
+    if batch.num_dsts and (
+        batch.dst_flow.min() < 0 or batch.dst_flow.max() >= batch.num_flows
+    ):
+        raise SimulationError("FlowBatch dst_flow indexes out of range")
+    if (batch.nbytes < 0).any():
+        raise SimulationError("FlowBatch payload bytes must be non-negative")
+    if ((batch.bw_factor <= 0.0) | (batch.bw_factor > 1.0)).any():
+        raise SimulationError("FlowBatch bw_factor must be in (0, 1]")

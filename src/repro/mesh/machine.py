@@ -45,7 +45,9 @@ from repro.core.plmr import PLMRDevice
 from repro.errors import PlacementError, ShapeError, SimulationError
 from repro.mesh.core_sim import Core
 from repro.mesh.fabric import FabricModel, Flow
+from repro.mesh.flow_engine import REDUCE_OPS
 from repro.mesh.program import (
+    AbsorbOp,
     BarrierOp,
     CaptureState,
     CommOp,
@@ -267,6 +269,45 @@ class MeshMachine:
         core.store(name, tile)
         self._note_memory(coord)
 
+    def place_many(
+        self, name: str, items: Sequence[Tuple[Coord, np.ndarray]]
+    ) -> None:
+        """Host-side placement of one named tile on many cores at once.
+
+        Semantically a loop of :meth:`place`; exists because per-token
+        operand binding (e.g. scattering the decode activation) is on
+        the replay hot path and the per-call validation adds up.
+        """
+        if self._capture is not None:
+            raise SimulationError(
+                "host placement inside a capture block cannot be replayed; "
+                "bind operands before capture()"
+            )
+        cores = self.cores
+        quiet = self._quiet_memory
+        note = self.trace.note_memory
+        for coord, tile in items:
+            core = cores.get(coord)
+            if core is None:
+                core = self.core(coord)  # raises the proper PlacementError
+            if type(tile) is not np.ndarray:
+                tile = np.asarray(tile)
+            # Inline the same-size-replacement branch of Core.store (the
+            # steady state of per-token operand binding): residency and
+            # capacity are unchanged, so only the slot and its (shared,
+            # host-owned) exclusivity bit need touching.
+            tiles = core._tiles
+            old = tiles.get(name)
+            if old is not None and old.nbytes == tile.nbytes:
+                tiles[name] = tile
+                core._exclusive.discard(name)
+                if quiet:
+                    continue
+            else:
+                core.store(name, tile)
+            if not quiet:
+                note(core.resident_bytes, coord)
+
     def scatter_grid(self, name: str, grid: Sequence[Sequence[np.ndarray]]) -> None:
         """Place a 2D grid of tiles: ``grid[i][j]`` goes to core ``(j, i)``."""
         gh = len(grid)
@@ -352,26 +393,40 @@ class MeshMachine:
             return
         payload_nbytes = self._execute_flows(flows)
         touched = self.fabric.register(pattern, flows)
-        flow_hops: List[int] = []
-        flow_bytes: List[int] = []
-        flow_records: List[FlowRecord] = []
-        for flow, nbytes in zip(flows, payload_nbytes):
-            hops = self.fabric.flow_hops(flow)
-            flow_hops.append(hops)
-            flow_bytes.append(nbytes * len(flow.dsts))
-            flow_records.append(
-                FlowRecord(
-                    src=flow.src,
-                    dsts=tuple(flow.dsts),
-                    hops=hops,
-                    nbytes=nbytes,
-                    bw_factor=self.fabric.flow_bandwidth_factor(flow),
-                    src_name=flow.src_name,
-                    dst_name=flow.dst_name,
-                )
+        # The SoA batch is the authoritative description of the phase:
+        # hop counts and bandwidth factors come out of its arrays, the
+        # per-flow Trace records are materialized from the same columns
+        # (bit-identical to the former per-flow lookups), and the batch
+        # rides along on the record so ingress/cost analytics never
+        # rebuild it.
+        batch = self.fabric.flow_batch(flows, payload_nbytes)
+        flow_hops = batch.hops.tolist()
+        flow_bw = batch.bw_factor.tolist()
+        flow_bytes = [
+            nbytes * len(flow.dsts) for flow, nbytes in zip(flows, payload_nbytes)
+        ]
+        flow_records = [
+            FlowRecord(
+                src=flow.src,
+                dsts=flow.dsts,
+                hops=hops,
+                nbytes=nbytes,
+                bw_factor=bw,
+                src_name=flow.src_name,
+                dst_name=flow.dst_name,
             )
+            for flow, hops, nbytes, bw in zip(
+                flows, flow_hops, payload_nbytes, flow_bw
+            )
+        ]
         self.trace.record_comm(
-            self._step, pattern, flow_hops, flow_bytes, touched, flows=flow_records
+            self._step,
+            pattern,
+            flow_hops,
+            flow_bytes,
+            touched,
+            flows=flow_records,
+            batch=batch,
         )
         if self._capture is not None:
             self._capture.note(
@@ -562,6 +617,60 @@ class MeshMachine:
                     coords, fn, tuple(reads), tuple(writes),
                     self.trace.computes[-1], {},
                 )
+            )
+
+    def absorb(
+        self,
+        label: str,
+        items: Sequence[Tuple[Coord, str, str]],
+        op: str = "add",
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
+    ) -> None:
+        """Combine delivered inbox tiles into accumulators, freeing the inboxes.
+
+        Each item ``(coord, acc_name, inbox_name)`` loads both tiles on
+        ``coord``, stores ``combine(acc, inbox)`` back under ``acc_name``
+        and frees the inbox; ``op`` names the combine in
+        :data:`~repro.mesh.flow_engine.REDUCE_OPS`.  Items are processed
+        in order (a core receiving two inboxes folds them sequentially),
+        and MACs are the absorbed element counts — exactly the semantics
+        the reduction collectives used to express as opaque per-core
+        closures.  As a *structured* primitive it captures into an
+        :class:`~repro.mesh.program.AbsorbOp`, which the compiled replay
+        path fuses with the preceding communication phase instead of
+        round-tripping every inbox tile through core storage.
+        """
+        if not items:
+            return
+        combine = REDUCE_OPS.get(op)
+        if combine is None:
+            raise SimulationError(
+                f"unknown absorb op {op!r}; choose from {sorted(REDUCE_OPS)}"
+            )
+        per_coord: Dict[Coord, List[Tuple[str, str]]] = {}
+        for coord, acc_name, inbox_name in items:
+            per_coord.setdefault(coord, []).append((acc_name, inbox_name))
+        cores = self.cores
+        macs: List[float] = []
+        for coord, pairs in per_coord.items():
+            core = cores[coord]
+            done = 0.0
+            for acc_name, inbox_name in pairs:
+                acc = core.load(acc_name)
+                incoming = core.load(inbox_name)
+                core.store(acc_name, combine(acc, incoming), exclusive=True)
+                done += float(incoming.size)
+                core.free(inbox_name)
+            macs.append(done)
+            self._note_memory(coord)
+        before = len(self.trace.computes)
+        self.trace.record_compute(
+            self._step, label, macs, reads=tuple(reads), writes=tuple(writes)
+        )
+        if self._capture is not None and len(self.trace.computes) > before:
+            self._capture.note(
+                AbsorbOp(tuple(items), op, self.trace.computes[-1])
             )
 
     def _run_stacked(

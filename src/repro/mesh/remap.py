@@ -83,6 +83,10 @@ class DefectMap:
                 )
             if link in self.dead_links:
                 raise ConfigurationError(f"link {link} both dead and degraded")
+        # Runtime link retrains (see :meth:`retrain_link`) mutate
+        # ``degraded_links`` in place; the version counter lets caches
+        # keyed on link bandwidth notice without content hashing.
+        object.__setattr__(self, "_links_version", 0)
 
     # ------------------------------------------------------------------
     def core_ok(self, coord: Coord) -> bool:
@@ -96,6 +100,40 @@ class DefectMap:
     def link_factor(self, a: Coord, b: Coord) -> float:
         """Surviving bandwidth fraction of a link (1.0 when healthy)."""
         return self.degraded_links.get(normalize_link(a, b), 1.0)
+
+    @property
+    def links_version(self) -> int:
+        """Monotone counter bumped by every :meth:`retrain_link` call."""
+        return self._links_version
+
+    def retrain_link(self, a: Coord, b: Coord, factor: float) -> None:
+        """Runtime bandwidth retrain of one link.
+
+        Models the fabric management plane re-negotiating a marginal
+        link's rate while the wafer is in service: ``factor`` in
+        ``(0, 1)`` degrades (or re-degrades) the link, ``1.0`` restores
+        it to full rate.  Dead links cannot be retrained back to life.
+
+        Routes are unaffected — retraining changes bandwidth, never
+        connectivity — but every cached bandwidth factor and register
+        signature derived from the old link state is invalidated via
+        :attr:`links_version`, and the defect fingerprint changes, so
+        captured programs refuse to replay against the new link state.
+        """
+        link = normalize_link(a, b)
+        if link in self.dead_links:
+            raise ConfigurationError(
+                f"link {link} is dead; retraining cannot revive it"
+            )
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(
+                f"retrained bandwidth fraction must be in (0, 1], got {factor}"
+            )
+        if factor == 1.0:
+            self.degraded_links.pop(link, None)
+        else:
+            self.degraded_links[link] = factor
+        object.__setattr__(self, "_links_version", self._links_version + 1)
 
     @property
     def num_defects(self) -> int:
@@ -324,6 +362,15 @@ class RemappedTopology(MeshTopology):
     def link_bandwidth_factor(self, a: Coord, b: Coord) -> float:
         """Surviving bandwidth fraction of a *physical* link."""
         return self.defects.link_factor(a, b)
+
+    @property
+    def links_version(self) -> int:
+        """Link-state version of the underlying defect map.
+
+        Bumped by :meth:`DefectMap.retrain_link`; fabric caches keyed on
+        bandwidth include it, so retrains invalidate them immediately.
+        """
+        return self.defects.links_version
 
     # ------------------------------------------------------------------
     def _detour(self, cur: Coord, nxt: Coord) -> List[Coord]:

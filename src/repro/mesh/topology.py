@@ -131,6 +131,18 @@ class MeshTopology:
         """
         return False
 
+    @property
+    def links_version(self) -> int:
+        """Monotone counter bumped whenever link state changes.
+
+        Dense meshes never change, so the version is constant.  Cache
+        keys that depend on link bandwidth (the fabric's ``"bw"`` flow
+        cache and register signatures) must include this, or a runtime
+        link retrain on a defective topology would keep serving stale
+        factors — see :meth:`repro.mesh.remap.DefectMap.retrain_link`.
+        """
+        return 0
+
     def link_bandwidth_factor(self, a: Coord, b: Coord) -> float:
         """Surviving bandwidth fraction of the link between ``a`` and ``b``.
 

@@ -30,6 +30,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.mesh.flow_engine import FlowBatch
+
 Coord = Tuple[int, int]
 
 #: Valid phase-scope kinds (see :meth:`Trace.begin_phase`):
@@ -111,6 +113,21 @@ class CommRecord:
     flows: Tuple[FlowRecord, ...] = ()
     min_bw_factor: float = 1.0
 
+    def flow_batch(self) -> FlowBatch:
+        """This phase's flows as structure-of-arrays buffers (cached).
+
+        The machine attaches the batch it built at record time; records
+        constructed any other way (tests, deserialized traces) build it
+        lazily from the flow tuples.  ``_batch`` is deliberately not a
+        dataclass field, so record equality and replay signatures are
+        unchanged.
+        """
+        batch = getattr(self, "_batch", None)
+        if batch is None:
+            batch = FlowBatch.from_records(self.flows)
+            self._batch = batch
+        return batch
+
     @property
     def ingress_bottleneck_bytes(self) -> float:
         """Link-time bytes through the busiest receiving link of this phase.
@@ -122,6 +139,20 @@ class CommRecord:
         half-rate link occupies its ingress twice as long).  Falls back
         to the largest per-flow payload when per-flow detail is absent
         (legacy traces).
+
+        Computed by the batched flow engine; bit-exact against the eager
+        per-flow reference :meth:`ingress_bottleneck_bytes_eager`
+        (``np.add.at`` accumulates in the same order the dict walk does).
+        """
+        if not self.flows:
+            return self.max_payload_bytes
+        return self.flow_batch().ingress_bottleneck_bytes()
+
+    def ingress_bottleneck_bytes_eager(self) -> float:
+        """Per-flow reference implementation of the ingress bottleneck.
+
+        Kept as the differential oracle for the batched engine (see
+        ``tests/test_flow_engine.py``); not used on any hot path.
         """
         if not self.flows:
             return self.max_payload_bytes
@@ -240,34 +271,38 @@ class Trace:
         flow_bytes: List[int],
         touched: Dict[Coord, Set[str]],
         flows: Optional[Sequence[FlowRecord]] = None,
+        batch: Optional[FlowBatch] = None,
     ) -> None:
         """Record one communication phase.
 
         ``flow_hops`` / ``flow_bytes`` are per-flow; ``touched`` maps each
         core on any flow's route to the set of route colours it carries.
         ``flows`` carries the full per-flow detail (source, destinations,
-        hops, per-destination bytes) used by trace replay.
+        hops, per-destination bytes) used by trace replay.  ``batch`` is
+        the machine's already-built SoA twin of ``flows``; attaching it
+        here lets the ingress/cost analytics skip rebuilding the arrays.
         """
         phase, group, seq = self._tag(pattern)
         flow_records = tuple(flows) if flows else ()
-        self.comms.append(
-            CommRecord(
-                step=step,
-                pattern=pattern,
-                num_flows=len(flow_hops),
-                max_hops=max(flow_hops) if flow_hops else 0,
-                total_hops=sum(flow_hops),
-                max_payload_bytes=max(flow_bytes) if flow_bytes else 0,
-                total_payload_bytes=sum(flow_bytes),
-                phase=phase,
-                group=group,
-                seq=seq,
-                flows=flow_records,
-                min_bw_factor=min(
-                    (f.bw_factor for f in flow_records), default=1.0
-                ),
-            )
+        record = CommRecord(
+            step=step,
+            pattern=pattern,
+            num_flows=len(flow_hops),
+            max_hops=max(flow_hops) if flow_hops else 0,
+            total_hops=sum(flow_hops),
+            max_payload_bytes=max(flow_bytes) if flow_bytes else 0,
+            total_payload_bytes=sum(flow_bytes),
+            phase=phase,
+            group=group,
+            seq=seq,
+            flows=flow_records,
+            min_bw_factor=min(
+                (f.bw_factor for f in flow_records), default=1.0
+            ),
         )
+        if batch is not None:
+            record._batch = batch
+        self.comms.append(record)
         for coord, colours in touched.items():
             self._colours_per_core[coord].update(colours)
 
