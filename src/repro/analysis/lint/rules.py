@@ -274,6 +274,43 @@ class NonNeighbourShiftRule(LintRule):
 
 
 @register_rule
+class RegionCarveOutOutsidePlannerRule(LintRule):
+    """Region carve-outs are planner output, not ad-hoc layout decisions.
+
+    The placement subsystem searches, scores, and *validates* every
+    region it emits; a ``RegionCarveOut(...)`` constructed elsewhere in
+    ``src/repro`` bypasses that pipeline — it is exactly the fragmented
+    placement logic the planner refactor removed.  Other layers obtain
+    regions from a :class:`~repro.placement.plan.PlacementPlan` or the
+    helpers in :mod:`repro.placement.plan` (the deprecation shims'
+    constructions are baselined).
+    """
+
+    rule_id = "region-carveout-outside-planner"
+    description = "RegionCarveOut constructed outside src/repro/placement/"
+
+    def applies_to(self, rel_path: str) -> bool:
+        rel = _norm(rel_path)
+        return "src/repro/" in rel and "src/repro/placement/" not in rel
+
+    def check(
+        self, tree: ast.AST, rel_path: str, source: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and _call_name(node.func) == "RegionCarveOut"
+            ):
+                yield self.finding(
+                    rel_path, node,
+                    "direct RegionCarveOut construction outside the "
+                    "placement subsystem; obtain regions from a "
+                    "PlacementPlan (or repro.placement.plan helpers) so "
+                    "they are searched and validated, not hand-chosen",
+                )
+
+
+@register_rule
 class BareAdvanceStepRule(LintRule):
     """No bare ``advance_step()`` outside the machine.
 

@@ -411,3 +411,71 @@ def fault_sweep_rows(scenarios) -> List[List[str]]:
             f"{m.goodput_tokens_per_s:,.0f}",
         ])
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Placement planner: paper-chosen vs planner-chosen layouts
+# ---------------------------------------------------------------------------
+
+#: Defect scenarios for the placement comparison: (label, defect kwargs).
+#: Rates are per-core / per-link Bernoulli probabilities at seed 11.
+PLACEMENT_SCENARIOS: List[Tuple[str, Optional[Dict[str, float]]]] = [
+    ("clean wafer", None),
+    ("degraded wafer (0.2% cores, 0.1% links dead, 0.4% links at 0.5x)",
+     dict(dead_core_rate=0.002, dead_link_rate=0.001,
+          degraded_link_rate=0.004, degraded_factor=0.5)),
+]
+
+
+def run_placement_cells(
+    device: PLMRDevice = WSE2, model_name: str = "llama3-8b"
+) -> List[CellResult]:
+    """Predicted decode tokens/s: planner-chosen vs paper-default layout.
+
+    ``measured`` is the planner's validated plan, ``paper`` the paper's
+    hand-chosen grids anchored at the origin, both priced on the same
+    (possibly degraded) fabric view through the one scoring path.  The
+    planner search on a full WSE-2 defect map takes tens of seconds, so
+    this table is regenerated manually, not in CI (the CI gate is
+    ``repro place --smoke``).
+    """
+    from repro.mesh.remap import DefectMap
+    from repro.placement import (
+        PlannerConfig,
+        paper_default_plan,
+        plan_placement,
+    )
+
+    model = get_model(model_name)
+    cells: List[CellResult] = []
+    for label, rates in PLACEMENT_SCENARIOS:
+        defects = None
+        if rates is not None:
+            defects = DefectMap.generate(
+                device.mesh_width, device.mesh_height, seed=11, **rates
+            )
+        config = PlannerConfig(seed=0)
+        result = plan_placement(model, device, defects, config)
+        paper = paper_default_plan(model, device, defects, config)
+        plan = result.plan
+        cells.append(CellResult(
+            f"{model_name} decode tok/s, {label}",
+            plan.decode_tokens_per_s,
+            paper.decode_tokens_per_s,
+            extra={
+                "planner_prefill_grid": plan.prefill_grid,
+                "planner_decode_grid": plan.decode_grid,
+                "paper_prefill_grid": paper.prefill_grid,
+                "paper_decode_grid": paper.decode_grid,
+                "decode_stretch": plan.decode_comm_stretch,
+                "paper_decode_stretch": paper.decode_comm_stretch,
+                "num_defects": plan.num_defects,
+                "validated": float(plan.is_validated),
+            },
+        ))
+        cells.append(CellResult(
+            f"{model_name} prefill tok/s, {label}",
+            plan.prefill_tokens_per_s,
+            paper.prefill_tokens_per_s,
+        ))
+    return cells

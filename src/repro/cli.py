@@ -26,11 +26,16 @@ from repro.errors import ReproError
 from repro.gemm import GEMM_KERNELS
 from repro.gemm.base import GemmShape
 from repro.gemv import GEMV_KERNELS
-from repro.llm.autotune import compare_with_paper_configs
 from repro.llm.config import MODELS, get_model
 from repro.llm.projections import resident_decode_projection, width_study
 from repro.llm.quantize import quantized_config
 from repro.mesh.faults import FaultInjector
+from repro.placement import (
+    PlannerConfig,
+    compare_with_paper_configs,
+    paper_default_plan,
+    plan_placement,
+)
 from repro.runtime.memory_audit import audit_model, required_layer_subset
 from repro.llm.wafer_system import WaferLLMSystem
 from repro.serving import (
@@ -178,6 +183,111 @@ def cmd_autotune(args) -> int:
     print(format_table(f"parallelism configuration for {model.name}",
                        ["source", "prefill grid", "decode grid",
                         "prefill tok/s", "decode tok/s"], rows))
+    return 0
+
+
+def _place_defects(args, device):
+    from repro.mesh.remap import DefectMap
+
+    if not (args.dead_cores or args.dead_links or args.degraded_links):
+        return None
+    return DefectMap.generate(
+        device.mesh_width, device.mesh_height, seed=args.seed,
+        dead_core_rate=args.dead_cores,
+        dead_link_rate=args.dead_links,
+        degraded_link_rate=args.degraded_links,
+        degraded_factor=args.degraded_factor,
+    )
+
+
+def _region_row(label, region, stretch):
+    return [
+        label, region.name,
+        f"({region.x},{region.y})", f"{region.width}x{region.height}",
+        f"{stretch:.4f}",
+    ]
+
+
+def cmd_place(args) -> int:
+    import json
+
+    if args.smoke:
+        # Small fabric, injected defects, strict sanitizer: the CI gate.
+        device = get_device("ipu-like-crossbar")
+        model = get_model("tiny-gqa")
+        config = PlannerConfig(seed=args.seed, coarse_step=8,
+                               seq_len=256, context_len=64,
+                               spare_count=args.spares)
+        from repro.mesh.remap import DefectMap
+
+        defects = DefectMap.generate(
+            device.mesh_width, device.mesh_height, seed=args.seed or 7,
+            dead_core_rate=0.01, dead_link_rate=0.01,
+            degraded_link_rate=0.02, degraded_factor=0.5,
+        )
+    else:
+        device = get_device(args.device)
+        model = get_model(args.model)
+        config = PlannerConfig(seed=args.seed, spare_count=args.spares,
+                               seq_len=args.seq_len,
+                               context_len=args.context_len)
+        defects = _place_defects(args, device)
+
+    result = plan_placement(model, device, defects, config)
+    plan = result.plan
+    paper = None
+    if args.compare_paper or args.smoke:
+        paper = paper_default_plan(model, device, defects, config)
+
+    if args.json:
+        payload = {"plan": plan.to_dict()}
+        if paper is not None:
+            payload["paper"] = paper.to_dict()
+        if args.explain:
+            payload["rejected"] = [r.to_dict() for r in result.rejected]
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [
+            _region_row("prefill", plan.prefill_region,
+                        plan.prefill_comm_stretch),
+            _region_row("decode", plan.decode_region,
+                        plan.decode_comm_stretch),
+        ]
+        for spare in plan.spare_regions:
+            rows.append(_region_row("spare", spare, 1.0))
+        print(format_table(
+            f"placement for {model.name} on {device.name} "
+            f"({plan.logical_width}x{plan.logical_height} logical, "
+            f"{plan.num_defects} defects)",
+            ["role", "region", "anchor", "shape", "comm stretch"], rows))
+        print(f"  ktree K={plan.ktree_k}  "
+              f"prefill {plan.prefill_tokens_per_s:,.0f} tok/s  "
+              f"decode {plan.decode_tokens_per_s:,.0f} tok/s  "
+              f"({plan.candidates_evaluated} candidates)")
+        if plan.validation is not None:
+            print(f"  validation: {plan.validation.render()}")
+        if paper is not None:
+            ratio = plan.decode_tokens_per_s / paper.decode_tokens_per_s
+            print(
+                f"  paper default: grids {paper.prefill_grid}/"
+                f"{paper.decode_grid}, decode "
+                f"{paper.decode_tokens_per_s:,.0f} tok/s "
+                f"(planner {ratio:.3f}x)"
+            )
+        if args.explain:
+            if not result.rejected:
+                print("  rejected candidates: none")
+            for rej in result.rejected:
+                print(f"  rejected: {rej.reason}")
+                for finding in rej.findings:
+                    print(f"    {finding.render()}")
+
+    if not plan.is_validated:
+        return 1
+    if args.smoke and paper is not None and (
+            plan.decode_tokens_per_s < paper.decode_tokens_per_s):
+        print("smoke FAILED: planner does not beat the paper default")
+        return 1
     return 0
 
 
@@ -528,6 +638,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="llama3-8b")
     p.add_argument("--device", default=WSE2.name)
     p.set_defaults(func=cmd_autotune)
+
+    p = sub.add_parser(
+        "place",
+        help="defect-aware placement search (plan regions + spares)",
+    )
+    p.add_argument("--model", default="llama3-8b")
+    p.add_argument("--device", default="cerebras-wse2")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dead-cores", type=float, default=0.0,
+                   help="dead-core rate for an injected defect map")
+    p.add_argument("--dead-links", type=float, default=0.0)
+    p.add_argument("--degraded-links", type=float, default=0.0)
+    p.add_argument("--degraded-factor", type=float, default=0.5)
+    p.add_argument("--spares", type=int, default=1)
+    p.add_argument("--seq-len", type=int, default=4096)
+    p.add_argument("--context-len", type=int, default=2048)
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--explain", action="store_true",
+                   help="show rejected candidates and their findings")
+    p.add_argument("--compare-paper", action="store_true",
+                   help="score the paper-default layout on the same fabric")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI gate: small defective fabric, strict sanitizer")
+    p.set_defaults(func=cmd_place)
 
     p = sub.add_parser("audit", help="memory audit of the paper's models")
     p.add_argument("--device", default=WSE2.name)

@@ -1,49 +1,32 @@
-"""Automatic parallelism configuration (the paper's named future work).
+"""Deprecation shim: autotuning moved to :mod:`repro.placement`.
 
-Section 4.4: *"We empirically determine the scalable parallelism for LLM
-operators. Automatic parallelism configuration is left for future
-work."*  This module implements that future work on top of the
-calibrated cost model: it searches core configurations for the best
-prefill grid, decode grid, and K-tree arity for a model on a device.
-
-The search exploits the structure the evaluation exposes:
-
-* prefill throughput is unimodal in the grid (compute gains vs
-  communication/step-overhead losses), so a coarse sweep plus local
-  refinement finds the peak;
-* decode throughput *decreases* with grid beyond the point where the
-  model's working set is spread, so the search additionally respects a
-  memory floor: the grid must be large enough that weights-per-core and
-  KV budget fit (the M property);
-* K is discrete and tiny; it is swept exhaustively.
+The grid/K search now lives in the defect-aware planner subsystem
+(:mod:`repro.placement.tune` for the pristine-mesh entry points,
+:mod:`repro.placement.search` for the search driver and the region
+planner).  This module keeps the historical import surface —
+``from repro.llm.autotune import autotune`` — working unchanged.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Tuple
 
 from repro.core.plmr import PLMRDevice
-from repro.errors import ConfigurationError
-from repro.gemv.meshgemv import meshgemv_with_k
-from repro.llm.config import ModelConfig
-from repro.llm.kvcache import MIN_KV_BUDGET_BYTES, kv_budget_per_core
-from repro.llm.wafer_system import WaferLLMSystem
-from repro.runtime.scheduler import USABLE_MEMORY_FRACTION
+from repro.placement.plan import RegionCarveOut
+from repro.placement.search import coarse_then_refine, min_decode_grid
+from repro.placement.tune import (
+    AutotuneResult,
+    autotune,
+    compare_with_paper_configs,
+)
 
-
-@dataclass(frozen=True)
-class AutotuneResult:
-    """Chosen configuration and the predicted rates at that choice."""
-
-    model: str
-    prefill_grid: int
-    decode_grid: int
-    ktree_k: int
-    prefill_tokens_per_s: float
-    decode_tokens_per_s: float
-    candidates_evaluated: int
+__all__ = [
+    "AutotuneResult",
+    "autotune",
+    "compare_with_paper_configs",
+    "min_decode_grid",
+    "legacy_search_region",
+]
 
 
 def _unimodal_search(
@@ -52,125 +35,20 @@ def _unimodal_search(
     hi: int,
     coarse_step: int,
 ) -> Tuple[int, float, int]:
-    """Coarse sweep + local refinement; returns (arg, value, evals).
-
-    The objective need not be perfectly unimodal — the refinement stage
-    re-checks every grid around the coarse winner, so small ripples
-    cannot trap the search more than ``coarse_step`` away from optimum.
-    """
-    evaluated = {}
-
-    def measure(grid: int) -> float:
-        if grid not in evaluated:
-            evaluated[grid] = objective(grid)
-        return evaluated[grid]
-
-    coarse = list(range(lo, hi + 1, coarse_step))
-    if coarse[-1] != hi:
-        coarse.append(hi)
-    best = max(coarse, key=measure)
-    window_lo = max(lo, best - coarse_step)
-    window_hi = min(hi, best + coarse_step)
-    fine_step = max(1, coarse_step // 10)
-    for grid in range(window_lo, window_hi + 1, fine_step):
-        measure(grid)
-    best = max(evaluated, key=evaluated.get)
-    return best, evaluated[best], len(evaluated)
+    """Legacy tuple-returning wrapper around ``coarse_then_refine``."""
+    sweep = coarse_then_refine(objective, lo, hi, coarse_step)
+    return sweep.best, sweep.value, sweep.evaluations
 
 
-def min_decode_grid(model: ModelConfig, device: PLMRDevice) -> int:
-    """Smallest decode grid whose region satisfies the M property.
+def legacy_search_region(device: PLMRDevice) -> RegionCarveOut:
+    """The pre-planner search domain: the whole pristine fabric.
 
-    The region must leave a usable KV budget per core after the model's
-    spread-out weights and the runtime reserve.
+    The legacy autotuner swept grids over the full ``side x side`` mesh
+    with no notion of anchors, defects, or reservations; this carve-out
+    names that domain for callers migrating to region-based planning.
+    (Constructing a carve-out outside ``repro.placement`` is what the
+    ``region-carveout-outside-planner`` lint rule flags — this shim is
+    baselined.)
     """
     side = min(device.mesh_width, device.mesh_height)
-    for grid in range(8, side + 1, 4):
-        budget = kv_budget_per_core(
-            model, device.core_memory_bytes, device.num_cores
-        )
-        per_core_weights = model.weight_bytes / (grid * grid)
-        region_capacity = device.core_memory_bytes * USABLE_MEMORY_FRACTION
-        stages = math.ceil(per_core_weights / region_capacity)
-        if budget >= MIN_KV_BUDGET_BYTES and stages < 64:
-            return grid
-    return side
-
-
-def autotune(
-    model: ModelConfig,
-    device: PLMRDevice,
-    seq_len: int = 4096,
-    context_len: int = 2048,
-    coarse_step: int = 60,
-) -> AutotuneResult:
-    """Search grids and K for the best prefill/decode configuration."""
-    side = min(device.mesh_width, device.mesh_height)
-    if side < 8:
-        raise ConfigurationError(
-            f"device fabric {side} too small for parallelism search"
-        )
-    system = WaferLLMSystem(device)
-    evals = 0
-
-    lo = max(8, min(60, side // 4))
-    prefill_grid, prefill_rate, n = _unimodal_search(
-        lambda grid: system.prefill_throughput(model, seq_len, grid),
-        lo, side, coarse_step,
-    )
-    evals += n
-
-    decode_lo = max(min_decode_grid(model, device), lo)
-    decode_grid, decode_rate, n = _unimodal_search(
-        lambda grid: system.decode_throughput(model, context_len, grid),
-        decode_lo, side, coarse_step,
-    )
-    evals += n
-
-    # Sweep the K-tree arity on the decode-dominant GEMV shape.
-    best_k, best_cycles = 2, None
-    for k in (1, 2, 3, 4):
-        kernel = meshgemv_with_k(k)
-        cost = kernel.estimate(
-            device, rows=model.d_model, cols=model.d_ff,
-            grid=min(decode_grid, model.d_model),
-        )
-        evals += 1
-        if best_cycles is None or cost.total_cycles < best_cycles:
-            best_cycles, best_k = cost.total_cycles, k
-
-    return AutotuneResult(
-        model=model.name,
-        prefill_grid=prefill_grid,
-        decode_grid=decode_grid,
-        ktree_k=best_k,
-        prefill_tokens_per_s=prefill_rate,
-        decode_tokens_per_s=decode_rate,
-        candidates_evaluated=evals,
-    )
-
-
-def compare_with_paper_configs(
-    model: ModelConfig, device: PLMRDevice
-) -> dict:
-    """Autotuned vs paper-chosen configurations, as a report dict."""
-    system = WaferLLMSystem(device)
-    tuned = autotune(model, device)
-    paper_prefill = system.prefill_grid(model)
-    paper_decode = system.decode_grid(model)
-    return {
-        "model": model.name,
-        "paper": {
-            "prefill_grid": paper_prefill,
-            "decode_grid": paper_decode,
-            "prefill_tok_s": system.prefill_throughput(model, 4096, paper_prefill),
-            "decode_tok_s": system.decode_throughput(model, 2048, paper_decode),
-        },
-        "autotuned": {
-            "prefill_grid": tuned.prefill_grid,
-            "decode_grid": tuned.decode_grid,
-            "ktree_k": tuned.ktree_k,
-            "prefill_tok_s": tuned.prefill_tokens_per_s,
-            "decode_tok_s": tuned.decode_tokens_per_s,
-        },
-    }
+    return RegionCarveOut("legacy", 0, 0, side, side, role="search")

@@ -49,10 +49,20 @@ class WaferTransformer:
         kv_rows: int = 4,
         kv_budget_bytes: int = 1 << 20,
         cache_kind: str = "shift",
+        plan=None,
     ):
         self.weights = weights
         self.config = weights.config
-        self.ops = ops if ops is not None else MeshOpContext()
+        self.plan = plan
+        if ops is None:
+            # A placement plan sets the functional mesh scale: the
+            # transformer executes at the plan's validated probe grid
+            # (wafer-scale regions cannot be simulated bit-level).
+            if plan is not None:
+                ops = MeshOpContext(grid=plan.functional_grid)
+            else:
+                ops = MeshOpContext()
+        self.ops = ops
         geometry = KVCacheGeometry(
             grid_width=self.ops.grid,
             grid_height=kv_rows,

@@ -82,18 +82,41 @@ MAX_RESIDENT_CHUNK_TOKENS = 1024
 
 
 class WaferLLMSystem(SystemModel):
-    """The paper's system, priced through its own kernels."""
+    """The paper's system, priced through its own kernels.
+
+    ``plan`` (a :class:`repro.placement.plan.PlacementPlan`, duck-typed
+    to avoid a load-time cycle) overrides the paper's hand-chosen grids
+    for the model it was searched for; other models fall back to the
+    paper tables.
+    """
 
     name = "waferllm"
 
+    def __init__(self, device: PLMRDevice, plan=None):
+        super().__init__(device)
+        self.plan = plan
+
+    def _plan_for(self, model: ModelConfig):
+        if self.plan is not None and self.plan.matches(model.name):
+            return self.plan
+        return None
+
     def prefill_grid(self, model: ModelConfig) -> int:
-        """Paper's prefill core configuration (falls back to 3/4 fabric)."""
+        """Plan's prefill region if placed, else the paper configuration
+        (falling back to 3/4 fabric for unlisted models)."""
         side = min(self.device.mesh_width, self.device.mesh_height)
+        plan = self._plan_for(model)
+        if plan is not None:
+            return min(side, plan.prefill_grid)
         return min(side, PREFILL_GRIDS.get(model.name.split("[")[0], side))
 
     def decode_grid(self, model: ModelConfig) -> int:
-        """Paper's decode core configuration (falls back to 1/2 fabric)."""
+        """Plan's decode region if placed, else the paper configuration
+        (falling back to 1/2 fabric for unlisted models)."""
         side = min(self.device.mesh_width, self.device.mesh_height)
+        plan = self._plan_for(model)
+        if plan is not None:
+            return min(side, plan.decode_grid)
         return min(side, DECODE_GRIDS.get(model.name.split("[")[0], side // 2))
 
     # ------------------------------------------------------------------

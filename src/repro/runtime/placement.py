@@ -1,133 +1,47 @@
-"""Weight placement and the prefill -> decode transition (Section 4.4).
+"""Deprecation shim: weight placement moved to :mod:`repro.placement`.
 
-Prefill and decode want different tensor layouts: prefill partitions the
-sequence dimension (``B L_y E_x``) and keeps weights in ``E_y F_x``;
-decode replicates the length-1 sequence (``B E_y L^x``) and pre-places
-``W_O`` / ``W_out`` transposed so chained GEMVs never transpose on the
-mesh.  Between the phases WaferLLM reshuffles the KV cache and weights
-over the NoC; this module prices that transition and shows it is
-negligible next to even one decoded token — the paper's justification
-for re-placement over per-token transposes.
+:class:`WeightPlacementPlan`, :func:`transition_cost`, and
+:func:`transposes_avoided_per_token` now live in
+:mod:`repro.placement.transition`; :func:`region_reshard_cost` is the
+grid-shaped wrapper around the region-based
+:func:`repro.placement.transition.reshard_cost`.  This module keeps the
+historical import surface working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
-
 from repro.core.plmr import PLMRDevice
 from repro.errors import ConfigurationError
 from repro.llm.config import ModelConfig
-from repro.llm.tensor_layout import (
-    TensorLayout,
-    weight_layout,
-    weight_layout_decode,
-)
 from repro.mesh.cost_model import KernelCost
+from repro.placement.plan import RegionCarveOut
+from repro.placement.transition import (
+    WeightPlacementPlan,
+    reshard_cost,
+    transition_cost,
+    transposes_avoided_per_token,
+)
 
-
-@dataclass(frozen=True)
-class WeightPlacementPlan:
-    """Per-layer weight layouts in each phase."""
-
-    model: ModelConfig
-
-    def prefill_layouts(self) -> List[TensorLayout]:
-        """Weight layouts during prefill (all ``E_y F_x``)."""
-        e, kv, f = self.model.d_model, self.model.kv_dim, self.model.d_ff
-        return [
-            weight_layout(e, e),    # W_Q
-            weight_layout(e, kv),   # W_K
-            weight_layout(e, kv),   # W_V
-            weight_layout(e, e),    # W_O
-            weight_layout(e, f),    # W_gate (W_in)
-            weight_layout(e, f),    # W_up
-            weight_layout(f, e),    # W_down (W_out)
-        ]
-
-    def decode_layouts(self) -> List[TensorLayout]:
-        """Decode layouts: ``W_O`` and ``W_out`` flipped (Figure 4)."""
-        e, kv, f = self.model.d_model, self.model.kv_dim, self.model.d_ff
-        return [
-            weight_layout(e, e),
-            weight_layout(e, kv),
-            weight_layout(e, kv),
-            weight_layout_decode(e, e),   # W_O pre-placed for dist-GEMV
-            weight_layout(e, f),
-            weight_layout(e, f),
-            weight_layout_decode(f, e),   # W_out pre-placed for dist-GEMV
-        ]
-
-    def changed_layers(self) -> List[int]:
-        """Indices (into the layout lists) that move during transition."""
-        moved = []
-        for idx, (pre, dec) in enumerate(
-            zip(self.prefill_layouts(), self.decode_layouts())
-        ):
-            if pre != dec:
-                moved.append(idx)
-        return moved
-
-
-def transition_cost(model: ModelConfig, device: PLMRDevice) -> KernelCost:
-    """Cycle cost of re-placing weights between prefill and decode.
-
-    Only the weights whose layout changes (``W_O``, ``W_out`` per layer)
-    are streamed; KV-cache re-layout is charged as one extra tensor of
-    the same order.  All transfers ride the full NoC bisection.
-    """
-    plan = WeightPlacementPlan(model)
-    prefill = plan.prefill_layouts()
-    decode = plan.decode_layouts()
-    total: KernelCost | None = None
-    for idx in plan.changed_layers():
-        per_layer = prefill[idx].transition_cost(decode[idx], device)
-        layer_total = per_layer.scaled(model.num_layers)
-        total = layer_total if total is None else total + layer_total
-    if total is None:  # no layout changes — zero-cost transition
-        zero = TensorLayout(1, 1, *_trivial_maps())
-        total = zero.transition_cost(zero, device).scaled(0)
-    return total
-
-
-def _trivial_maps():
-    from repro.llm.tensor_layout import AxisMap
-
-    return AxisMap.PARTITION_X, AxisMap.PARTITION_Y
+__all__ = [
+    "WeightPlacementPlan",
+    "transition_cost",
+    "region_reshard_cost",
+    "transposes_avoided_per_token",
+]
 
 
 def region_reshard_cost(
     model: ModelConfig, device: PLMRDevice, grid: int
 ) -> KernelCost:
-    """Cycle cost of evacuating one decode region onto spare capacity.
+    """Cycle cost of evacuating a ``grid x grid`` decode region.
 
-    When a core dies persistently, the runtime re-shards the region's
-    resident weights onto a spare row/column region (Cerebras-style yield
-    repair applied at runtime).  All ``grid`` rows stream their shards in
-    parallel, so the serialized payload per lane is ``weight_bytes /
-    grid``, travelling roughly one region width (``grid`` hops).  KV is
-    *not* moved — it is recomputed from the prompts (the serving layer
-    prices that separately), matching how wafer runtimes treat SRAM state
-    as disposable next to the NoC cost of moving it.
+    Legacy bare-grid entry point; the planner-aware path passes a
+    :class:`~repro.placement.plan.RegionCarveOut` straight to
+    :func:`repro.placement.transition.reshard_cost`.  (The direct
+    carve-out construction below is baselined under the
+    ``region-carveout-outside-planner`` lint rule.)
     """
-    from repro.mesh.cost_model import CommPhase, estimate
-
     if grid < 1:
         raise ConfigurationError(f"grid must be positive, got {grid}")
-    phase = CommPhase(
-        label="reshard.weights",
-        hop_distance=float(grid),
-        payload_bytes=model.weight_bytes / grid,
-    )
-    return estimate(f"region_reshard[{grid}x{grid}]", device, [phase])
-
-
-def transposes_avoided_per_token(model: ModelConfig) -> int:
-    """Mesh transposes the decode plan avoids per generated token.
-
-    Without pre-placement, every chained GEMV pair (``W_O`` after the
-    attention GEMVs, ``W_out`` after the FFN GEMVs) and the
-    ``Q @ K^T`` score step would each transpose on the mesh: three per
-    layer (Section 4.2).
-    """
-    return 3 * model.num_layers
+    region = RegionCarveOut("reshard", 0, 0, grid, grid, role="decode")
+    return reshard_cost(model, device, region)

@@ -67,7 +67,8 @@ from repro.llm.config import ModelConfig
 from repro.llm.kvcache import KVTokenLedger, region_token_capacity
 from repro.llm.wafer_system import MAX_RESIDENT_CHUNK_TOKENS, WaferLLMSystem
 from repro.mesh.faults import FaultEvent, FaultInjector, FaultSchedule
-from repro.runtime.placement import region_reshard_cost
+from repro.placement.plan import decode_carve_for_grid
+from repro.placement.transition import reshard_cost
 from repro.serving.admission import SLOAdmission, backlog_tokens
 from repro.serving.health import HealthMonitor
 from repro.serving.metrics import ServingMetrics, StepEvent
@@ -128,8 +129,9 @@ class WaferServer:
         default_context_len: int = 4096,
         fault_schedule: Optional[FaultSchedule] = None,
         max_retries: int = MAX_CONSECUTIVE_RETRIES,
-        spare_regions: int = 1,
+        spare_regions: Optional[int] = None,
         health: Optional[HealthMonitor] = None,
+        plan=None,
     ):
         if mode not in ("chunked", "exclusive"):
             raise ConfigurationError(f"unknown serving mode: {mode!r}")
@@ -141,8 +143,25 @@ class WaferServer:
         self.device = device
         self.mode = mode
         self.chunk_tokens = chunk_tokens
-        self.system = WaferLLMSystem(device)
+        # A placement plan (searched for this model) supplies the decode
+        # region, the grid, and the spare-region pool; without one the
+        # server falls back to the paper grid and a nominal carve-out.
+        if plan is not None and not plan.matches(model.name):
+            raise ConfigurationError(
+                f"placement plan was searched for {plan.model!r}, "
+                f"not {model.name!r}"
+            )
+        self.plan = plan
+        self.system = WaferLLMSystem(device, plan=plan)
         self.grid = grid or self.system.decode_grid(model)
+        if plan is not None and grid is None:
+            self.region = plan.decode_region
+            self._spare_pool = list(plan.spare_regions)
+        else:
+            self.region = decode_carve_for_grid(self.grid)
+            self._spare_pool = []
+        if spare_regions is None:
+            spare_regions = len(self._spare_pool) if self._spare_pool else 1
         self.kv_capacity_tokens = region_token_capacity(
             model, self.grid, device.core_memory_bytes, device.num_cores
         )
@@ -252,6 +271,8 @@ class WaferServer:
         consecutive_failures = 0
         max_batch = self.max_batch
         spares_left = self.spare_regions
+        live_region = self.region
+        spare_pool = list(self._spare_pool)
         remaps = degradations = 0
         health = self.health if self.health is not None else HealthMonitor()
         schedule = self.fault_schedule
@@ -424,14 +445,20 @@ class WaferServer:
                 # way the killed step's body, the weight re-shard, and
                 # the KV recompute-from-prompt are downtime.
                 mark_killed()
-                reshard_s = region_reshard_cost(
-                    self.model, self.device, self.grid
+                reshard_s = reshard_cost(
+                    self.model, self.device, live_region
                 ).seconds
                 recovery_s = step_s + reshard_s + kv_recompute_seconds()
+                spare_note = ""
                 if spares_left > 0:
                     spares_left -= 1
                     remaps += 1
                     action = "remap"
+                    if spare_pool:
+                        # Consume the planner's reservations in the order
+                        # it ranked them (least comm stretch first).
+                        live_region = spare_pool.pop(0)
+                        spare_note = f" -> {live_region.name}"
                 else:
                     degradations += 1
                     action = "degrade"
@@ -450,7 +477,7 @@ class WaferServer:
                     health.record_fault(
                         event.at_s, "core_dead", action,
                         downtime_s=recovery_s / len(deaths),
-                        detail=event.detail,
+                        detail=event.detail + spare_note,
                     )
                 consecutive_failures = 0
                 now = start + recovery_s

@@ -234,12 +234,21 @@ def test_missing_baseline_is_empty():
     assert load_baseline(Path("/nonexistent/baseline.json")) == set()
 
 
-def test_repo_baseline_is_empty():
-    # The tree lints clean, so the checked-in baseline must stay empty.
+def test_repo_baseline_covers_only_the_placement_shims():
+    # The tree lints clean apart from the two deprecation shims that
+    # construct RegionCarveOut outside src/repro/placement/ (see
+    # region-carveout-outside-planner); only their fingerprints may be
+    # baselined.
     from repro.analysis.lint import BASELINE_PATH, load_baseline
 
     assert BASELINE_PATH.is_file()
-    assert load_baseline() == set()
+    baseline = load_baseline()
+    assert len(baseline) == 2
+    shim_findings = [
+        f for f in lint_tree()
+        if f.rule == "region-carveout-outside-planner"
+    ]
+    assert {fingerprint(f) for f in shim_findings} == baseline
 
 
 # ----------------------------------------------------------------------
@@ -247,7 +256,9 @@ def test_repo_baseline_is_empty():
 # ----------------------------------------------------------------------
 
 def test_repo_tree_lints_clean():
-    findings = lint_tree()
+    from repro.analysis.lint import load_baseline
+
+    findings = apply_baseline(lint_tree(), load_baseline())
     pretty = "\n".join(f.render() for f in findings)
     assert not findings, f"lint findings in src/repro:\n{pretty}"
 
