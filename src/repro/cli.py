@@ -438,6 +438,47 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """Seeded multi-wafer chaos sweep: the fleet availability table.
+
+    Routes one request trace through an N-wafer fleet under a ladder of
+    wafer-scoped fault scenarios (clean, mid-trace wafer loss, churn,
+    router partition, bursty arrivals + loss) and prints the fleet
+    table EXPERIMENTS.md records.  ``--smoke`` runs the CI gate: a
+    tiny 3-wafer fleet with one injected ``wafer_down`` that must
+    fail over with zero lost requests.
+    """
+    from repro.fleet import chaos_sweep, fleet_rows, run_smoke
+
+    if args.smoke:
+        metrics = run_smoke(seed=args.seed)
+        s = metrics.summary()
+        print(format_table(
+            f"fleet smoke (seed={args.seed})",
+            ["metric", "value"],
+            [[k, f"{v:.6g}"] for k, v in s.items()]))
+        print(f"  timeline signature: {metrics.timeline_signature()[:16]}")
+        return 0
+
+    device = get_device(args.device)
+    model = get_model(args.model)
+    scenarios = chaos_sweep(
+        model, device,
+        n_wafers=args.wafers, n_requests=args.requests, seed=args.seed,
+        mean_interarrival_s=args.interval, chunk_tokens=args.chunk,
+    )
+    print(format_table(
+        f"fleet chaos sweep: {args.wafers}x {model.name} on {device.name} "
+        f"({args.requests} requests, seed={args.seed})",
+        ["scenario", "done", "lost", "failovers", "migr", "retries",
+         "availability", "MTTR ms", "p99 TTFT ms", "goodput tok/s"],
+        fleet_rows(scenarios)))
+    if any(m.lost_requests for _, m in scenarios):
+        print("warning: requests lost — retry budget exhausted somewhere")
+        return 1
+    return 0
+
+
 def cmd_profile(args) -> int:
     from repro.profiling import all_kernel_names, build_case, timeline_case
     from repro.mesh.reconcile import reconcile
@@ -734,6 +775,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="tiny fast sweep for CI")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "fleet",
+        help="multi-wafer chaos sweep: availability / failover table")
+    p.add_argument("--model", default="llama3-8b")
+    p.add_argument("--device", default=WSE2.name)
+    p.add_argument("--wafers", type=int, default=3)
+    p.add_argument("--requests", type=int, default=24)
+    p.add_argument("--interval", type=float, default=0.02)
+    p.add_argument("--chunk", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny 3-wafer failover gate for CI")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
         "check",

@@ -110,6 +110,27 @@ class FaultEscalationError(ReproError):
         )
 
 
+class SpareExhaustionError(FaultEscalationError):
+    """A persistent fault struck with the spare-region pool empty.
+
+    Raised (instead of degrading in place) when the server runs with
+    ``fail_on_exhausted_spares=True`` — the fleet configuration, where a
+    wafer out of spares should surface as *down* so the router fails the
+    affected sessions over to a healthy replica rather than limping on
+    at reduced capacity.
+    """
+
+    def __init__(self, deaths: int, spares_used: int):
+        self.deaths = deaths
+        self.spares_used = spares_used
+        ReproError.__init__(
+            self,
+            f"core death #{deaths} struck with all {spares_used} spare "
+            f"region(s) already consumed; the wafer's escalation ladder "
+            f"is exhausted — fail over to another wafer or degrade"
+        )
+
+
 class SimulationError(ReproError):
     """The functional mesh machine reached an inconsistent state."""
 

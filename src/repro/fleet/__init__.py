@@ -1,0 +1,63 @@
+"""Multi-wafer fleet serving: failover routing under deterministic chaos.
+
+One wafer is a failure domain; WaferLLM at datacenter scale is a *fleet*
+of them behind a router.  This package grows the single-wafer serving
+stack (PR 3's escalation ladder, PR 6's placement plans) into a cluster:
+
+* :mod:`repro.fleet.fleet` — :class:`WaferFleet`, N wafers each running
+  the resumable :class:`~repro.serving.chunked.ServeEngine`, with
+  epoch-tracked reboots;
+* :mod:`repro.fleet.router` — :class:`FleetRouter`, health-checked load
+  balancing with session affinity, seeded retry/hedging, and cross-wafer
+  failover that re-prefills drained sessions on healthy replicas;
+* :mod:`repro.fleet.faults` — wafer-scoped fault taxonomy
+  (``wafer_down`` / ``wafer_degraded`` / ``router_partition``) in a
+  seeded :class:`FleetFaultSchedule`;
+* :mod:`repro.fleet.metrics` — client-side :class:`SessionOutcome`
+  ledger and the :class:`FleetMetrics` rollup (availability, MTTR,
+  fleet goodput, p99 TTFT, failover count);
+* :mod:`repro.fleet.chaos` — the deterministic chaos harness behind
+  ``repro fleet`` and the EXPERIMENTS.md fleet table.
+"""
+
+from repro.fleet.chaos import (
+    bursty_trace,
+    chaos_sweep,
+    fleet_rows,
+    poisson_trace,
+    run_chaos,
+    run_smoke,
+    sessionize,
+)
+from repro.fleet.faults import (
+    FLEET_FAULT_KINDS,
+    FleetFaultEvent,
+    FleetFaultSchedule,
+)
+from repro.fleet.fleet import FleetConfig, WaferFleet
+from repro.fleet.metrics import (
+    FleetMetrics,
+    FleetTimelineEntry,
+    SessionOutcome,
+)
+from repro.fleet.router import FleetRouter, RouterConfig
+
+__all__ = [
+    "FLEET_FAULT_KINDS",
+    "FleetConfig",
+    "FleetFaultEvent",
+    "FleetFaultSchedule",
+    "FleetMetrics",
+    "FleetRouter",
+    "FleetTimelineEntry",
+    "RouterConfig",
+    "SessionOutcome",
+    "WaferFleet",
+    "bursty_trace",
+    "chaos_sweep",
+    "fleet_rows",
+    "poisson_trace",
+    "run_chaos",
+    "run_smoke",
+    "sessionize",
+]

@@ -30,6 +30,7 @@ chunk, not a whole prompt's prefill pass.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -38,6 +39,18 @@ from repro.errors import ConfigurationError
 
 #: The fault kinds the escalation policy understands.
 FAULT_KINDS = ("transient", "link_retrain", "core_dead")
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """A stable child seed for ``label`` under a parent ``seed``.
+
+    Stable across processes and Python versions (unlike ``hash()``), so
+    every RNG stream derived from one schedule seed replays identically:
+    the fault timeline, the escalation ladder's backoff jitter, and the
+    fleet router's retry jitter all hang off the same root.
+    """
+    digest = hashlib.sha256(f"{seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class FaultInjector:
@@ -102,6 +115,18 @@ class FaultInjector:
         self._prev_backoff = pause
         return pause
 
+    def bind_jitter_rng(self, rng: random.Random) -> None:
+        """Replace the jitter stream with an externally-derived RNG.
+
+        The serving layer calls this when a :class:`FaultSchedule` with
+        a recorded seed drives the run: backoff jitter then derives from
+        the *schedule's* seed, so one seed reproduces the entire
+        fault-and-retry timeline.  The fate RNG is untouched — binding
+        never perturbs which steps fail.
+        """
+        self._jitter_rng = rng
+        self._prev_backoff = 0.0
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -143,13 +168,31 @@ class FaultSchedule:
     reacting per kind (retry, slow down, escalate).  Schedules are either
     hand-built for tests or drawn by :meth:`generate` as independent
     Poisson arrival processes per kind — fully determined by the seed.
+
+    ``seed`` records the root seed a generated schedule was drawn from
+    (``None`` for hand-built schedules).  Consumers derive every other
+    RNG stream of the run from it via :meth:`derive_rng`, so a single
+    seed pins the fault timeline *and* the jittered reactions to it.
     """
 
     events: List[FaultEvent] = field(default_factory=list)
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.events = sorted(self.events, key=lambda e: e.at_s)
         self._cursor = 0
+
+    def derive_rng(self, label: str) -> random.Random:
+        """A seeded RNG stream derived from this schedule's seed.
+
+        Requires a recorded seed; hand-built schedules must set one
+        before asking for derived streams.
+        """
+        if self.seed is None:
+            raise ConfigurationError(
+                "schedule has no recorded seed to derive RNG streams from"
+            )
+        return random.Random(derive_seed(self.seed, label))
 
     def __len__(self) -> int:
         return len(self.events)
@@ -244,4 +287,4 @@ class FaultSchedule:
             events.append(
                 FaultEvent(at_s=t, kind="core_dead", detail=f"core_dead#{idx}")
             )
-        return cls(events=events)
+        return cls(events=events, seed=seed)

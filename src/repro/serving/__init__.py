@@ -12,7 +12,12 @@ from repro.serving.admission import (
     SLOAdmission,
     backlog_tokens,
 )
-from repro.serving.chunked import WaferServer, compare_modes
+from repro.serving.chunked import (
+    ServeEngine,
+    SessionSnapshot,
+    WaferServer,
+    compare_modes,
+)
 from repro.serving.health import FaultLogEntry, HealthMonitor
 from repro.serving.metrics import ServingMetrics, StepEvent, percentile
 from repro.serving.request import Request, RequestStats
@@ -27,6 +32,8 @@ __all__ = [
     "StepEvent",
     "percentile",
     "ContinuousBatchingServer",
+    "ServeEngine",
+    "SessionSnapshot",
     "WaferServer",
     "compare_modes",
     "FaultLogEntry",

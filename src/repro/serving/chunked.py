@@ -48,20 +48,34 @@ of a :class:`~repro.mesh.faults.FaultSchedule`:
   SRAM state is disposable next to the NoC cost of moving it).  With
   spares exhausted the server *degrades*: the KV budget and admissible
   batch shrink by one row's worth, live streams run to completion, and
-  waiting prompts that can never fit again are shed as rejected.
+  waiting prompts that can never fit again are shed as rejected.  Under
+  ``fail_on_exhausted_spares=True`` (the fleet configuration) a death
+  past the spare pool instead raises
+  :class:`~repro.errors.SpareExhaustionError`: the wafer declares itself
+  down so a fleet router can evacuate its sessions to a healthy replica.
+
+The simulation itself lives in :class:`ServeEngine`, a *resumable*
+stepping core: :meth:`WaferServer.serve` runs one engine to completion
+(bit-identical to the historical closed-form loop), while the fleet
+layer drives many engines concurrently — submitting requests mid-run,
+advancing each wafer's clock to a global event time, and draining
+unfinished sessions for cross-wafer migration when a wafer dies.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.plmr import PLMRDevice
 from repro.errors import (
     ConfigurationError,
     FaultEscalationError,
     SimulationError,
+    SpareExhaustionError,
 )
 from repro.llm.config import ModelConfig
 from repro.llm.kvcache import KVTokenLedger, region_token_capacity
@@ -110,6 +124,40 @@ class _Job:
         return now_s > self.request.ttft_deadline_s
 
 
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """Frozen progress of one unfinished session at wafer-drain time.
+
+    A dying wafer's SRAM state is unrecoverable; what survives is the
+    *logical* session — the prompt, how far prefill got, and how many
+    tokens were already emitted to the client.  The fleet router turns a
+    snapshot into a continuation request on a healthy wafer: the full
+    live context (``prefilled + generated`` tokens) must be re-prefilled
+    there to rebuild the KV cache before the remaining
+    ``seq_out - generated`` tokens can decode.
+    """
+
+    request: Request
+    prefilled: int
+    generated: int
+    stats: RequestStats
+
+    @property
+    def context(self) -> int:
+        """Tokens of KV that must be rebuilt on the failover target."""
+        return self.prefilled + self.generated
+
+    @property
+    def remaining_out(self) -> int:
+        """Decode tokens still owed to the client."""
+        return self.request.seq_out - self.generated
+
+    @property
+    def started(self) -> bool:
+        """Whether the session made any progress on the dead wafer."""
+        return self.context > 0
+
+
 class WaferServer:
     """Continuous-batching server over one decode region.
 
@@ -132,6 +180,7 @@ class WaferServer:
         spare_regions: Optional[int] = None,
         health: Optional[HealthMonitor] = None,
         plan=None,
+        fail_on_exhausted_spares: bool = False,
     ):
         if mode not in ("chunked", "exclusive"):
             raise ConfigurationError(f"unknown serving mode: {mode!r}")
@@ -182,6 +231,7 @@ class WaferServer:
         self.fault_schedule = fault_schedule
         self.max_retries = max_retries
         self.spare_regions = spare_regions
+        self.fail_on_exhausted_spares = fail_on_exhausted_spares
         self.health = health
         chunk_cost = self.system.chunked_prefill_cost(
             model, chunk_tokens, self.grid
@@ -253,319 +303,528 @@ class WaferServer:
             raise ConfigurationError("no requests to serve")
         if len({r.request_id for r in requests}) != len(requests):
             raise ConfigurationError("request ids must be unique")
-        stats = {r.request_id: RequestStats(request=r) for r in requests}
-        pending: Deque[Request] = deque(
-            sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        return ServeEngine(self, requests).run()
+
+
+class ServeEngine:
+    """Resumable stepping core of one :class:`WaferServer`.
+
+    The engine holds the entire scheduler state — pending arrivals,
+    prefill slot, decode batch, KV ledger, escalation ladder — and
+    exposes it one step at a time:
+
+    * :meth:`submit` injects a request at any point (the fleet router
+      dispatches this way; arrivals in the past are admitted at the
+      engine's current clock, exactly as a late arrival would be);
+    * :meth:`step` executes one scheduler iteration (or jumps the idle
+      clock to the next arrival);
+    * :meth:`advance_to` runs steps until the wafer's clock reaches a
+      global event time, never jumping an *idle* wafer past it — so a
+      dispatch at that time lands on an up-to-date wafer;
+    * :meth:`drain` evacuates every unfinished session as
+      :class:`SessionSnapshot` for cross-wafer migration and marks them
+      shed on this wafer (conservation stays exact per wafer);
+    * :meth:`finish` closes the books into :class:`ServingMetrics`.
+
+    ``WaferServer.serve`` is ``ServeEngine(server, requests).run()`` —
+    the stepping form is the single implementation, and single-wafer
+    results are bit-identical to the historical closed loop.
+    """
+
+    def __init__(
+        self,
+        server: WaferServer,
+        requests: Iterable[Request] = (),
+        start_s: float = 0.0,
+    ):
+        self.server = server
+        self.now = start_s
+        self.stats: Dict[int, RequestStats] = {}
+        self._pending: List[Tuple[float, int, Request]] = []
+        self._submitted: List[Request] = []
+        self.waiting: List[_Job] = []
+        self.current: Optional[_Job] = None
+        self.decode_ready: Deque[_Job] = deque()
+        self.decoding: Dict[int, _Job] = {}
+        self.ledger = KVTokenLedger(server.kv_capacity_tokens)
+        self.rejected: List[Request] = []
+        self.events: List[StepEvent] = []
+        self.total_tokens = 0
+        self.peak_batch = 0
+        self.peak_kv = 0
+        self.peak_queue = 0
+        self.retries = 0
+        self.preemptions = 0
+        self.consecutive_failures = 0
+        self.max_batch = server.max_batch
+        self.spares_left = server.spare_regions
+        self.live_region = server.region
+        self.spare_pool = list(server._spare_pool)
+        self.remaps = 0
+        self.degradations = 0
+        self.drained = False
+        self.health = (
+            server.health if server.health is not None else HealthMonitor()
         )
-        waiting: List[_Job] = []
-        current: Optional[_Job] = None
-        decode_ready: Deque[_Job] = deque()
-        decoding: Dict[int, _Job] = {}
-        ledger = KVTokenLedger(self.kv_capacity_tokens)
-        rejected: List[Request] = []
-        events: List[StepEvent] = []
-        now = 0.0
-        total_tokens = 0
-        peak_batch = peak_kv = peak_queue = 0
-        retries = preemptions = 0
-        consecutive_failures = 0
-        max_batch = self.max_batch
-        spares_left = self.spare_regions
-        live_region = self.region
-        spare_pool = list(self._spare_pool)
-        remaps = degradations = 0
-        health = self.health if self.health is not None else HealthMonitor()
-        schedule = self.fault_schedule
-        if schedule is not None:
-            schedule.reset()
-
-        def admit_arrivals() -> None:
-            while pending and pending[0].arrival_s <= now:
-                request = pending.popleft()
-                backlog = backlog_tokens(
-                    (j.request for j in waiting),
-                    current.prefill_remaining if current else 0,
-                    request.priority,
+        self.schedule = server.fault_schedule
+        if self.schedule is not None:
+            self.schedule.reset()
+            # One seed reproduces the whole fault/retry timeline: the
+            # escalation ladder's decorrelated-jitter backoff derives
+            # its stream from the schedule's recorded seed.
+            if self.schedule.seed is not None:
+                server.faults.bind_jitter_rng(
+                    self.schedule.derive_rng("escalation-backoff")
                 )
-                decision = self.admission.check(
-                    request, max(now, request.arrival_s), backlog
-                )
-                # A degraded region may no longer hold what the (static)
-                # admission budget was sized for — shed at the door.
-                if decision.admitted and (
-                    request.kv_tokens <= ledger.capacity_tokens
-                ):
-                    waiting.append(_Job(request, stats[request.request_id]))
-                else:
-                    rejected.append(request)
+        for request in requests:
+            self.submit(request)
 
-        def live_jobs() -> List[_Job]:
-            jobs = list(decoding.values()) + list(decode_ready)
-            if current is not None:
-                jobs.append(current)
-            jobs.extend(j for j in waiting if j.kv_held)
-            return jobs
-
-        def kv_recompute_seconds() -> float:
-            """Recompute-from-prompt cost of every live stream's KV.
-
-            A core death loses the region's SRAM state; rebuilding the
-            KV caches means replaying each live context through chunked
-            prefill on the repaired region.
-            """
-            total = 0.0
-            for job in live_jobs():
-                if job.context <= 0:
-                    continue
-                chunks = math.ceil(job.context / self.chunk_tokens)
-                total += chunks * self.fused_step_seconds(
-                    0, job.context, self.chunk_tokens
-                )
-            return total
-
-        while pending or waiting or current or decode_ready or decoding:
-            admit_arrivals()
-            if not (waiting or current or decode_ready or decoding):
-                now = max(now, pending[0].arrival_s)
-                continue
-
-            # Prefilled streams join the batch while it has room.
-            while decode_ready and len(decoding) < max_batch:
-                job = decode_ready.popleft()
-                job.stats.decode_start_s = now
-                decoding[job.request.request_id] = job
-
-            # Prefill slot: claim, or preempt at a chunk boundary.
-            if current is None and waiting:
-                current = self._pick_prefill(waiting, ledger, now)
-                if current is not None:
-                    waiting.remove(current)
-            elif (
-                self.mode == "chunked" and current is not None and waiting
-            ):
-                challenger = self._pick_prefill(waiting, ledger, now)
-                if challenger is not None and (
-                    challenger.request.priority > current.request.priority
-                    or (
-                        current.over_budget(now)
-                        and not challenger.over_budget(now)
-                    )
-                ):
-                    waiting.append(current)
-                    current.stats.preemptions += 1
-                    preemptions += 1
-                    current = challenger
-                    waiting.remove(challenger)
-            if current is not None and not current.kv_held:
-                ledger.reserve(
-                    current.request.request_id, current.request.kv_tokens
-                )
-                current.kv_held = True
-                current.stats.prefill_start_s = now
-                peak_kv = max(peak_kv, ledger.reserved_tokens)
-
-            # Compose one step.
-            batch = len(decoding)
-            exclusive_block = self.mode == "exclusive" and current is not None
-            if exclusive_block:
-                chunk = current.prefill_remaining
-                step_s = self.exclusive_prefill_seconds(current.request.seq_in)
-                kind = "prefill"
-            else:
-                chunk = (
-                    min(self.chunk_tokens, current.prefill_remaining)
-                    if current is not None
-                    else 0
-                )
-                if batch == 0 and chunk == 0:
-                    # Admitted work exists but nothing can start this
-                    # instant (KV fully reserved by queued streams);
-                    # the joins above guarantee this cannot happen.
-                    raise SimulationError("scheduler made no progress")
-                mean_context = (
-                    max(
-                        1,
-                        int(
-                            sum(j.context for j in decoding.values()) / batch
-                        ),
-                    )
-                    if batch
-                    else 1
-                )
-                step_s = self.fused_step_seconds(batch, mean_context, chunk)
-                if batch and chunk:
-                    kind = "fused"
-                elif batch:
-                    kind = "decode"
-                else:
-                    kind = "prefill"
-            peak_batch = max(peak_batch, batch)
-
-            # Fault check: typed schedule events striking this step's
-            # window, then the Bernoulli draw.  A killed step burns its
-            # time plus backoff and commits nothing.
-            start = now
-            struck: List[FaultEvent] = (
-                schedule.pop_until(start + step_s) if schedule else []
+    # -- intake ---------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Queue one request for arrival-time admission."""
+        if self.drained:
+            raise SimulationError("cannot submit to a drained engine")
+        if request.request_id in self.stats:
+            raise ConfigurationError(
+                f"request id {request.request_id} already submitted"
             )
-            deaths = [e for e in struck if e.kind == "core_dead"]
-            retrains = [e for e in struck if e.kind == "link_retrain"]
-            transients = [e for e in struck if e.kind == "transient"]
+        self.stats[request.request_id] = RequestStats(request=request)
+        self._submitted.append(request)
+        bisect.insort(
+            self._pending, (request.arrival_s, request.request_id, request)
+        )
 
-            # Link retrains stretch the step: the region runs at the
-            # event's surviving bandwidth for the retrain window, so the
-            # excess over nominal is pure downtime — but the step commits.
-            for event in retrains:
-                extra = event.duration_s * (1.0 / event.bw_factor - 1.0)
-                step_s += extra
-                health.record_fault(
-                    event.at_s, "link_retrain", "slowdown",
-                    downtime_s=extra, detail=event.detail,
+    # -- state queries --------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether any admitted or pending work remains."""
+        return bool(
+            self._pending or self.waiting or self.current
+            or self.decode_ready or self.decoding
+        )
+
+    @property
+    def next_arrival_s(self) -> Optional[float]:
+        """Earliest not-yet-admitted arrival, or None."""
+        return self._pending[0][0] if self._pending else None
+
+    def live_jobs(self) -> List[_Job]:
+        jobs = list(self.decoding.values()) + list(self.decode_ready)
+        if self.current is not None:
+            jobs.append(self.current)
+        jobs.extend(j for j in self.waiting if j.kv_held)
+        return jobs
+
+    def load_tokens(self) -> int:
+        """KV footprint of all unfinished work (the router's load signal)."""
+        total = sum(j.request.kv_tokens for j in self.decoding.values())
+        total += sum(j.request.kv_tokens for j in self.decode_ready)
+        if self.current is not None:
+            total += self.current.request.kv_tokens
+        total += sum(j.request.kv_tokens for j in self.waiting)
+        total += sum(r.kv_tokens for _, _, r in self._pending)
+        return total
+
+    def backlog_prefill_tokens(self) -> int:
+        """Prefill tokens not yet processed (the router's wait signal)."""
+        total = sum(j.prefill_remaining for j in self.waiting)
+        if self.current is not None:
+            total += self.current.prefill_remaining
+        total += sum(r.seq_in for _, _, r in self._pending)
+        return total
+
+    # -- internals ------------------------------------------------------
+    def _admit_arrivals(self) -> None:
+        while self._pending and self._pending[0][0] <= self.now:
+            _, _, request = self._pending.pop(0)
+            backlog = backlog_tokens(
+                (j.request for j in self.waiting),
+                self.current.prefill_remaining if self.current else 0,
+                request.priority,
+            )
+            decision = self.server.admission.check(
+                request, max(self.now, request.arrival_s), backlog
+            )
+            # A degraded region may no longer hold what the (static)
+            # admission budget was sized for — shed at the door.
+            if decision.admitted and (
+                request.kv_tokens <= self.ledger.capacity_tokens
+            ):
+                self.waiting.append(
+                    _Job(request, self.stats[request.request_id])
                 )
+            else:
+                self.rejected.append(request)
 
-            def mark_killed() -> None:
-                if current is not None:
-                    current.stats.retries += 1
-                for job in decoding.values():
-                    job.stats.retries += 1
+    def _kv_recompute_seconds(self) -> float:
+        """Recompute-from-prompt cost of every live stream's KV.
 
-            def fault_event(kind: str, end_s: float) -> None:
-                events.append(StepEvent(
-                    start_s=start, end_s=end_s, kind=kind,
-                    decode_batch=batch, chunk_tokens=chunk,
-                    kv_tokens=ledger.reserved_tokens,
-                    queue_depth=len(waiting) + len(decode_ready)
-                    + (1 if current else 0),
-                ))
-
-            if deaths:
-                # Persistent core death: no retry can succeed on this
-                # region.  Remap onto a spare while one remains; degrade
-                # capacity in place once spares are exhausted.  Either
-                # way the killed step's body, the weight re-shard, and
-                # the KV recompute-from-prompt are downtime.
-                mark_killed()
-                reshard_s = reshard_cost(
-                    self.model, self.device, live_region
-                ).seconds
-                recovery_s = step_s + reshard_s + kv_recompute_seconds()
-                spare_note = ""
-                if spares_left > 0:
-                    spares_left -= 1
-                    remaps += 1
-                    action = "remap"
-                    if spare_pool:
-                        # Consume the planner's reservations in the order
-                        # it ranked them (least comm stretch first).
-                        live_region = spare_pool.pop(0)
-                        spare_note = f" -> {live_region.name}"
-                else:
-                    degradations += 1
-                    action = "degrade"
-                    row_fraction = (self.grid - 1) / self.grid
-                    ledger.resize(int(ledger.capacity_tokens * row_fraction))
-                    max_batch = max(1, int(max_batch * row_fraction))
-                    shed = [
-                        j for j in waiting
-                        if not j.kv_held
-                        and j.request.kv_tokens > ledger.capacity_tokens
-                    ]
-                    for job in shed:
-                        waiting.remove(job)
-                        rejected.append(job.request)
-                for event in deaths:
-                    health.record_fault(
-                        event.at_s, "core_dead", action,
-                        downtime_s=recovery_s / len(deaths),
-                        detail=event.detail + spare_note,
-                    )
-                consecutive_failures = 0
-                now = start + recovery_s
-                fault_event(action, now)
-                peak_queue = max(peak_queue, events[-1].queue_depth)
+        A core death loses the region's SRAM state; rebuilding the
+        KV caches means replaying each live context through chunked
+        prefill on the repaired region.
+        """
+        total = 0.0
+        for job in self.live_jobs():
+            if job.context <= 0:
                 continue
+            chunks = math.ceil(job.context / self.server.chunk_tokens)
+            total += chunks * self.server.fused_step_seconds(
+                0, job.context, self.server.chunk_tokens
+            )
+        return total
 
-            bernoulli_killed = self.faults.step_fails()
-            if transients or bernoulli_killed:
-                consecutive_failures += 1
-                if consecutive_failures > self.max_retries:
-                    raise FaultEscalationError(
-                        consecutive_failures, self.max_retries
-                    )
-                retries += 1
-                mark_killed()
-                backoff_s = self.faults.backoff_s(consecutive_failures)
-                now = start + step_s + backoff_s
-                health.record_fault(
-                    transients[0].at_s if transients else start,
-                    "transient", "retry",
-                    downtime_s=step_s + backoff_s,
-                    detail=(
-                        transients[0].detail if transients
-                        else "bernoulli step kill"
+    def _mark_killed(self) -> None:
+        if self.current is not None:
+            self.current.stats.retries += 1
+        for job in self.decoding.values():
+            job.stats.retries += 1
+
+    def _fault_event(
+        self, kind: str, start: float, end_s: float, batch: int, chunk: int
+    ) -> None:
+        self.events.append(StepEvent(
+            start_s=start, end_s=end_s, kind=kind,
+            decode_batch=batch, chunk_tokens=chunk,
+            kv_tokens=self.ledger.reserved_tokens,
+            queue_depth=len(self.waiting) + len(self.decode_ready)
+            + (1 if self.current else 0),
+        ))
+        self.peak_queue = max(self.peak_queue, self.events[-1].queue_depth)
+
+    # -- stepping -------------------------------------------------------
+    def step(self) -> None:
+        """Execute one scheduler iteration (or jump an idle clock)."""
+        server = self.server
+        self._admit_arrivals()
+        if not (
+            self.waiting or self.current
+            or self.decode_ready or self.decoding
+        ):
+            if not self._pending:
+                return
+            self.now = max(self.now, self._pending[0][0])
+            return
+
+        # Prefilled streams join the batch while it has room.
+        while self.decode_ready and len(self.decoding) < self.max_batch:
+            job = self.decode_ready.popleft()
+            job.stats.decode_start_s = self.now
+            self.decoding[job.request.request_id] = job
+
+        # Prefill slot: claim, or preempt at a chunk boundary.
+        if self.current is None and self.waiting:
+            self.current = server._pick_prefill(
+                self.waiting, self.ledger, self.now
+            )
+            if self.current is not None:
+                self.waiting.remove(self.current)
+        elif (
+            server.mode == "chunked"
+            and self.current is not None and self.waiting
+        ):
+            challenger = server._pick_prefill(
+                self.waiting, self.ledger, self.now
+            )
+            if challenger is not None and (
+                challenger.request.priority > self.current.request.priority
+                or (
+                    self.current.over_budget(self.now)
+                    and not challenger.over_budget(self.now)
+                )
+            ):
+                self.waiting.append(self.current)
+                self.current.stats.preemptions += 1
+                self.preemptions += 1
+                self.current = challenger
+                self.waiting.remove(challenger)
+        if self.current is not None and not self.current.kv_held:
+            self.ledger.reserve(
+                self.current.request.request_id,
+                self.current.request.kv_tokens,
+            )
+            self.current.kv_held = True
+            self.current.stats.prefill_start_s = self.now
+            self.peak_kv = max(self.peak_kv, self.ledger.reserved_tokens)
+
+        # Compose one step.
+        batch = len(self.decoding)
+        exclusive_block = (
+            server.mode == "exclusive" and self.current is not None
+        )
+        if exclusive_block:
+            chunk = self.current.prefill_remaining
+            step_s = server.exclusive_prefill_seconds(
+                self.current.request.seq_in
+            )
+            kind = "prefill"
+        else:
+            chunk = (
+                min(server.chunk_tokens, self.current.prefill_remaining)
+                if self.current is not None
+                else 0
+            )
+            if batch == 0 and chunk == 0:
+                # Admitted work exists but nothing can start this
+                # instant (KV fully reserved by queued streams);
+                # the joins above guarantee this cannot happen.
+                raise SimulationError("scheduler made no progress")
+            mean_context = (
+                max(
+                    1,
+                    int(
+                        sum(j.context for j in self.decoding.values())
+                        / batch
                     ),
                 )
-                fault_event("retry", now)
-                peak_queue = max(peak_queue, events[-1].queue_depth)
-                continue
-            consecutive_failures = 0
-            now = start + step_s
-            health.observe_step(start, step_s, kind=kind)
-
-            # Commit decode progress (stalls during an exclusive block).
-            if not exclusive_block and batch:
-                total_tokens += batch
-                finished: List[int] = []
-                for request_id, job in decoding.items():
-                    job.generated += 1
-                    if job.generated == 1:
-                        job.stats.first_token_s = now
-                    if job.generated == job.request.seq_out:
-                        finished.append(request_id)
-                for request_id in finished:
-                    job = decoding.pop(request_id)
-                    job.stats.finish_s = now
-                    ledger.release(request_id)
-
-            # Commit prefill progress.
-            if current is not None and chunk:
-                current.prefilled += chunk
-                current.stats.prefill_chunks += 1
-                if current.prefill_remaining == 0:
-                    decode_ready.append(current)
-                    current = None
-
-            queue_depth = (
-                len(waiting) + len(decode_ready) + (1 if current else 0)
+                if batch
+                else 1
             )
-            peak_queue = max(peak_queue, queue_depth)
-            events.append(StepEvent(
-                start_s=start, end_s=now, kind=kind,
-                decode_batch=batch, chunk_tokens=chunk,
-                kv_tokens=ledger.reserved_tokens,
-                queue_depth=queue_depth,
-            ))
+            step_s = server.fused_step_seconds(batch, mean_context, chunk)
+            if batch and chunk:
+                kind = "fused"
+            elif batch:
+                kind = "decode"
+            else:
+                kind = "prefill"
+        self.peak_batch = max(self.peak_batch, batch)
 
+        # Fault check: typed schedule events striking this step's
+        # window, then the Bernoulli draw.  A killed step burns its
+        # time plus backoff and commits nothing.
+        start = self.now
+        struck: List[FaultEvent] = (
+            self.schedule.pop_until(start + step_s) if self.schedule else []
+        )
+        deaths = [e for e in struck if e.kind == "core_dead"]
+        retrains = [e for e in struck if e.kind == "link_retrain"]
+        transients = [e for e in struck if e.kind == "transient"]
+
+        # Link retrains stretch the step: the region runs at the
+        # event's surviving bandwidth for the retrain window, so the
+        # excess over nominal is pure downtime — but the step commits.
+        for event in retrains:
+            extra = event.duration_s * (1.0 / event.bw_factor - 1.0)
+            step_s += extra
+            self.health.record_fault(
+                event.at_s, "link_retrain", "slowdown",
+                downtime_s=extra, detail=event.detail,
+            )
+
+        if deaths:
+            # Persistent core death: no retry can succeed on this
+            # region.  Remap onto a spare while one remains; degrade
+            # capacity in place once spares are exhausted (or, in the
+            # fleet configuration, declare the wafer down).  Either
+            # way the killed step's body, the weight re-shard, and
+            # the KV recompute-from-prompt are downtime.
+            self._mark_killed()
+            if (
+                self.spares_left <= 0
+                and server.fail_on_exhausted_spares
+            ):
+                for event in deaths:
+                    self.health.record_fault(
+                        event.at_s, "core_dead", "escalate",
+                        detail=event.detail + " (spare pool exhausted)",
+                    )
+                raise SpareExhaustionError(
+                    self.remaps + self.degradations + 1,
+                    server.spare_regions,
+                )
+            reshard_s = reshard_cost(
+                server.model, server.device, self.live_region
+            ).seconds
+            recovery_s = step_s + reshard_s + self._kv_recompute_seconds()
+            spare_note = ""
+            if self.spares_left > 0:
+                self.spares_left -= 1
+                self.remaps += 1
+                action = "remap"
+                if self.spare_pool:
+                    # Consume the planner's reservations in the order
+                    # it ranked them (least comm stretch first).
+                    self.live_region = self.spare_pool.pop(0)
+                    spare_note = f" -> {self.live_region.name}"
+            else:
+                self.degradations += 1
+                action = "degrade"
+                row_fraction = (server.grid - 1) / server.grid
+                self.ledger.resize(
+                    int(self.ledger.capacity_tokens * row_fraction)
+                )
+                self.max_batch = max(1, int(self.max_batch * row_fraction))
+                shed = [
+                    j for j in self.waiting
+                    if not j.kv_held
+                    and j.request.kv_tokens > self.ledger.capacity_tokens
+                ]
+                for job in shed:
+                    self.waiting.remove(job)
+                    self.rejected.append(job.request)
+            for event in deaths:
+                self.health.record_fault(
+                    event.at_s, "core_dead", action,
+                    downtime_s=recovery_s / len(deaths),
+                    detail=event.detail + spare_note,
+                )
+            self.consecutive_failures = 0
+            self.now = start + recovery_s
+            self._fault_event(action, start, self.now, batch, chunk)
+            return
+
+        bernoulli_killed = server.faults.step_fails()
+        if transients or bernoulli_killed:
+            self.consecutive_failures += 1
+            if self.consecutive_failures > server.max_retries:
+                raise FaultEscalationError(
+                    self.consecutive_failures, server.max_retries
+                )
+            self.retries += 1
+            self._mark_killed()
+            backoff_s = server.faults.backoff_s(self.consecutive_failures)
+            self.now = start + step_s + backoff_s
+            self.health.record_fault(
+                transients[0].at_s if transients else start,
+                "transient", "retry",
+                downtime_s=step_s + backoff_s,
+                detail=(
+                    transients[0].detail if transients
+                    else "bernoulli step kill"
+                ),
+            )
+            self._fault_event("retry", start, self.now, batch, chunk)
+            return
+        self.consecutive_failures = 0
+        self.now = start + step_s
+        self.health.observe_step(start, step_s, kind=kind)
+
+        # Commit decode progress (stalls during an exclusive block).
+        if not exclusive_block and batch:
+            self.total_tokens += batch
+            finished: List[int] = []
+            for request_id, job in self.decoding.items():
+                job.generated += 1
+                if job.generated == 1:
+                    job.stats.first_token_s = self.now
+                if job.generated == job.request.seq_out:
+                    finished.append(request_id)
+            for request_id in finished:
+                job = self.decoding.pop(request_id)
+                job.stats.finish_s = self.now
+                self.ledger.release(request_id)
+
+        # Commit prefill progress.
+        if self.current is not None and chunk:
+            self.current.prefilled += chunk
+            self.current.stats.prefill_chunks += 1
+            if self.current.prefill_remaining == 0:
+                self.decode_ready.append(self.current)
+                self.current = None
+
+        queue_depth = (
+            len(self.waiting) + len(self.decode_ready)
+            + (1 if self.current else 0)
+        )
+        self.peak_queue = max(self.peak_queue, queue_depth)
+        self.events.append(StepEvent(
+            start_s=start, end_s=self.now, kind=kind,
+            decode_batch=batch, chunk_tokens=chunk,
+            kv_tokens=self.ledger.reserved_tokens,
+            queue_depth=queue_depth,
+        ))
+
+    def advance_to(self, t_s: float) -> None:
+        """Run steps until the wafer's clock reaches ``t_s``.
+
+        Never jumps an *idle* wafer past ``t_s`` — a dispatch at that
+        instant must land on a wafer whose clock has not overshot it.  A
+        step already in flight may legitimately end past ``t_s``.
+        """
+        while self.active and self.now < t_s:
+            if not (
+                self.waiting or self.current
+                or self.decode_ready or self.decoding
+            ):
+                if self._pending[0][0] > t_s:
+                    break
+            self.step()
+
+    def run(self) -> ServingMetrics:
+        """Run every step to completion and close the books."""
+        while self.active:
+            self.step()
+        return self.finish()
+
+    # -- teardown -------------------------------------------------------
+    def drain(self) -> List[SessionSnapshot]:
+        """Evacuate every unfinished session for cross-wafer migration.
+
+        Returns snapshots in scheduler order (decode batch, prefilled
+        queue, in-flight prefill, waiting, pending) and marks each shed
+        on this wafer, so the per-wafer metrics keep exact request
+        conservation while the fleet re-homes the sessions.
+        """
+        snapshots: List[SessionSnapshot] = []
+        for job in self.decoding.values():
+            snapshots.append(SessionSnapshot(
+                request=job.request, prefilled=job.prefilled,
+                generated=job.generated, stats=job.stats,
+            ))
+        for job in self.decode_ready:
+            snapshots.append(SessionSnapshot(
+                request=job.request, prefilled=job.prefilled,
+                generated=job.generated, stats=job.stats,
+            ))
+        if self.current is not None:
+            snapshots.append(SessionSnapshot(
+                request=self.current.request,
+                prefilled=self.current.prefilled,
+                generated=self.current.generated,
+                stats=self.current.stats,
+            ))
+        for job in self.waiting:
+            snapshots.append(SessionSnapshot(
+                request=job.request, prefilled=job.prefilled,
+                generated=job.generated, stats=job.stats,
+            ))
+        for _, _, request in self._pending:
+            snapshots.append(SessionSnapshot(
+                request=request, prefilled=0, generated=0,
+                stats=self.stats[request.request_id],
+            ))
+        for snap in snapshots:
+            self.rejected.append(snap.request)
+        self.decoding.clear()
+        self.decode_ready.clear()
+        self.current = None
+        self.waiting.clear()
+        self._pending.clear()
+        self.drained = True
+        return snapshots
+
+    def finish(self) -> ServingMetrics:
+        """Close the books into :class:`ServingMetrics`."""
+        rejected_ids = {r.request_id for r in self.rejected}
         completed = [
-            stats[r.request_id] for r in requests
-            if not any(r.request_id == x.request_id for x in rejected)
+            self.stats[r.request_id] for r in self._submitted
+            if r.request_id not in rejected_ids
         ]
         return ServingMetrics(
             completed=completed,
-            rejected=rejected,
-            makespan_s=now,
-            total_decode_tokens=total_tokens,
-            peak_batch=peak_batch,
-            kv_capacity_tokens=self.kv_capacity_tokens,
-            peak_kv_tokens=peak_kv,
-            peak_queue_depth=peak_queue,
-            retries=retries,
-            preemptions=preemptions,
-            events=events,
-            remaps=remaps,
-            degradations=degradations,
-            downtime_s=health.downtime_s,
-            fault_log=list(health.log),
+            rejected=list(self.rejected),
+            makespan_s=self.now,
+            total_decode_tokens=self.total_tokens,
+            peak_batch=self.peak_batch,
+            kv_capacity_tokens=self.server.kv_capacity_tokens,
+            peak_kv_tokens=self.peak_kv,
+            peak_queue_depth=self.peak_queue,
+            retries=self.retries,
+            preemptions=self.preemptions,
+            events=self.events,
+            remaps=self.remaps,
+            degradations=self.degradations,
+            downtime_s=self.health.downtime_s,
+            fault_log=list(self.health.log),
         )
 
 

@@ -21,13 +21,23 @@ windows.  Time spent productively (even degraded) is uptime.
 from __future__ import annotations
 
 import statistics
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Deque, Dict, List, Optional
 
 from repro.errors import ConfigurationError
 
 #: Actions the escalation policy can report against a fault.
-FAULT_ACTIONS = ("retry", "slowdown", "remap", "degrade", "watchdog")
+#: ``escalate`` marks the terminal rung: the wafer gave up (spare pool
+#: exhausted or retry budget blown) and handed the incident upward —
+#: to the operator on a single wafer, to the fleet router in a fleet.
+FAULT_ACTIONS = (
+    "retry", "slowdown", "remap", "degrade", "watchdog", "escalate",
+)
+
+#: Default fault-log bound: long chaos sweeps log one entry per absorbed
+#: incident, so an unbounded list grows with the fault horizon.
+DEFAULT_MAX_LOG_ENTRIES = 4096
 
 
 @dataclass(frozen=True)
@@ -60,19 +70,54 @@ class HealthMonitor:
     fault events, not on the alarm).  Baselines are kept per step kind
     because a chunked-prefill loop legitimately mixes prefill blocks and
     decode steps whose durations differ by orders of magnitude.
+
+    The fault log is a ring buffer bounded at ``max_log_entries``
+    (``None`` for unbounded): once full, each new entry evicts the
+    oldest and bumps :attr:`dropped_entries`, so week-long chaos sweeps
+    keep the *recent* incident history without growing memory without
+    limit.  The downtime ledger and incident counters aggregate over
+    every entry ever recorded, dropped or not.
     """
 
-    def __init__(self, watchdog_factor: float = 20.0, min_samples: int = 8):
+    def __init__(
+        self,
+        watchdog_factor: float = 20.0,
+        min_samples: int = 8,
+        max_log_entries: Optional[int] = DEFAULT_MAX_LOG_ENTRIES,
+    ):
         if watchdog_factor <= 1.0:
             raise ConfigurationError("watchdog_factor must be > 1")
         if min_samples < 1:
             raise ConfigurationError("min_samples must be >= 1")
+        if max_log_entries is not None and max_log_entries < 1:
+            raise ConfigurationError(
+                "max_log_entries must be >= 1 (or None for unbounded)"
+            )
         self.watchdog_factor = watchdog_factor
         self.min_samples = min_samples
-        self.log: List[FaultLogEntry] = []
+        self.max_log_entries = max_log_entries
+        self.log: Deque[FaultLogEntry] = deque()
+        self.dropped_entries = 0
         self.watchdog_trips = 0
         self.downtime_s = 0.0
+        self._incidents = 0
         self._durations: Dict[str, List[float]] = {}
+        self._action_counts: Dict[str, int] = {}
+
+    def _append(self, entry: FaultLogEntry) -> None:
+        """Ring-buffer append: evict the oldest entry once at capacity."""
+        self._action_counts[entry.action] = (
+            self._action_counts.get(entry.action, 0) + 1
+        )
+        if entry.downtime_s > 0:
+            self._incidents += 1
+        self.log.append(entry)
+        if (
+            self.max_log_entries is not None
+            and len(self.log) > self.max_log_entries
+        ):
+            self.log.popleft()
+            self.dropped_entries += 1
 
     # ------------------------------------------------------------------
     def observe_step(
@@ -87,7 +132,7 @@ class HealthMonitor:
             if duration_s > threshold:
                 tripped = True
                 self.watchdog_trips += 1
-                self.log.append(FaultLogEntry(
+                self._append(FaultLogEntry(
                     at_s=at_s, kind="watchdog", action="watchdog",
                     detail=(
                         f"{kind} step took {duration_s:.3e}s against a "
@@ -113,15 +158,15 @@ class HealthMonitor:
             at_s=at_s, kind=kind, action=action,
             downtime_s=downtime_s, detail=detail,
         )
-        self.log.append(entry)
+        self._append(entry)
         self.downtime_s += downtime_s
         return entry
 
     # ------------------------------------------------------------------
     @property
     def incidents(self) -> int:
-        """Fault incidents that cost wall-clock time."""
-        return sum(1 for e in self.log if e.downtime_s > 0)
+        """Fault incidents that cost wall-clock time (incl. dropped)."""
+        return self._incidents
 
     @property
     def mttr_s(self) -> float:
@@ -131,8 +176,9 @@ class HealthMonitor:
         return self.downtime_s / self.incidents
 
     def action_counts(self) -> Dict[str, int]:
-        """How many incidents each escalation action absorbed."""
-        counts: Dict[str, int] = {}
-        for entry in self.log:
-            counts[entry.action] = counts.get(entry.action, 0) + 1
-        return counts
+        """How many incidents each escalation action absorbed.
+
+        Counted at record time, so entries evicted from the bounded log
+        still contribute.
+        """
+        return dict(self._action_counts)

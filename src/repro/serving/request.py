@@ -33,6 +33,11 @@ class Request:
     SLO-aware admission and by the goodput accounting; ``None`` means
     best-effort (never rejected for latency, always counted as within
     SLO).
+
+    ``session_id`` groups requests that share conversational state: the
+    fleet router keeps a session pinned to one wafer while it stays
+    healthy (KV locality — the cache of earlier turns lives there).
+    ``None`` means stateless; a single wafer ignores the field entirely.
     """
 
     request_id: int
@@ -42,6 +47,7 @@ class Request:
     priority: int = 0
     ttft_slo_s: Optional[float] = None
     tpot_slo_s: Optional[float] = None
+    session_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.seq_in < 1 or self.seq_out < 1:

@@ -1,0 +1,273 @@
+"""Escalation-ladder ordering properties and health-ledger bounds.
+
+Property tests for the serving layer's fault escalation contract:
+
+* spare regions are promoted strictly in the planner's ranked order
+  (``PlacementPlan.spare_regions``) — the plan's cheapest spare absorbs
+  the first death, and so on down the list;
+* with ``fail_on_exhausted_spares=True``,
+  :class:`~repro.errors.SpareExhaustionError` fires on exactly the
+  first death past the spare budget — never before, never instead of a
+  remap that still had a spare to use;
+* ``WaferServer.serve`` and incremental :class:`ServeEngine` stepping
+  are the same simulation — any ``advance_to`` slicing of the clock
+  reproduces the closed-form run bit for bit;
+* the :class:`HealthMonitor` fault log is a bounded ring buffer whose
+  aggregate counters keep counting past eviction.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.device_presets import PRESETS
+from repro.errors import (
+    ConfigurationError,
+    FaultEscalationError,
+    SpareExhaustionError,
+)
+from repro.llm.config import get_model
+from repro.mesh.faults import FaultEvent, FaultSchedule
+from repro.placement import PlannerConfig, plan_placement
+from repro.mesh.remap import DefectMap
+from repro.serving import (
+    HealthMonitor,
+    Request,
+    ServeEngine,
+    WaferServer,
+    synthetic_trace,
+)
+
+IPU = PRESETS["ipu-like-crossbar"]
+TINY = get_model("tiny-gqa")
+
+
+def small_server(**kwargs) -> WaferServer:
+    defaults = dict(chunk_tokens=64, default_context_len=256)
+    defaults.update(kwargs)
+    return WaferServer(TINY, IPU, **defaults)
+
+
+def small_trace(n: int = 8, seed: int = 0):
+    return synthetic_trace(
+        n, seed=seed, mean_interarrival_s=0.0,
+        seq_in_range=(64, 128), seq_out_range=(8, 16),
+    )
+
+
+def death_schedule(makespan_s: float, n_deaths: int) -> FaultSchedule:
+    """Deaths spread across the busy window, one per step window."""
+    return FaultSchedule(events=[
+        FaultEvent(at_s=makespan_s * (0.15 + 0.12 * k), kind="core_dead",
+                   detail=f"death#{k}")
+        for k in range(n_deaths)
+    ])
+
+
+@pytest.fixture(scope="module")
+def clean_makespan() -> float:
+    return small_server().serve(small_trace()).makespan_s
+
+
+# ----------------------------------------------------------------------
+# Spare promotion order
+# ----------------------------------------------------------------------
+
+class TestSparePromotionOrder:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        defects = DefectMap.generate(
+            IPU.mesh_width, IPU.mesh_height, seed=5,
+            dead_core_rate=0.01, dead_link_rate=0.01,
+            degraded_link_rate=0.02, degraded_factor=0.5,
+        )
+        config = PlannerConfig(seed=0, coarse_step=8, seq_len=256,
+                               context_len=64, spare_count=2)
+        return plan_placement(TINY, IPU, defects, config).plan
+
+    def test_planner_emits_ranked_spares(self, plan):
+        assert len(plan.spare_regions) == 2
+
+    def test_deaths_consume_spares_in_planner_order(self, plan,
+                                                    clean_makespan):
+        """Each core death promotes the next spare the planner ranked,
+        in exactly the order ``plan.spare_regions`` lists them."""
+        server = small_server(
+            plan=plan, fault_schedule=death_schedule(clean_makespan, 2),
+        )
+        engine = ServeEngine(server, small_trace())
+        promoted = []
+        region = engine.live_region
+        while engine.active:
+            engine.step()
+            if engine.live_region is not region:
+                promoted.append(engine.live_region.name)
+                region = engine.live_region
+        metrics = engine.finish()
+        assert metrics.remaps == 2
+        assert promoted == [r.name for r in plan.spare_regions]
+
+    def test_remap_log_records_the_promoted_spare(self, plan,
+                                                  clean_makespan):
+        server = small_server(
+            plan=plan, fault_schedule=death_schedule(clean_makespan, 1),
+        )
+        metrics = server.serve(small_trace())
+        remap_entries = [e for e in metrics.fault_log if e.action == "remap"]
+        assert len(remap_entries) == 1
+        assert remap_entries[0].detail.endswith(
+            f"-> {plan.spare_regions[0].name}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Exhaustion timing (the hypothesis property)
+# ----------------------------------------------------------------------
+
+class TestSpareExhaustionTiming:
+    @settings(max_examples=25, deadline=None)
+    @given(spares=st.integers(0, 2), deaths=st.integers(0, 4))
+    def test_error_fires_exactly_when_pool_exhausted(
+        self, spares, deaths, clean_makespan
+    ):
+        """In fleet mode the ladder raises on precisely death number
+        ``spares + 1``: every earlier death remaps, and a run with
+        ``deaths <= spares`` finishes with one remap per death."""
+        server = small_server(
+            spare_regions=spares,
+            fail_on_exhausted_spares=True,
+            fault_schedule=death_schedule(clean_makespan, deaths),
+        )
+        if deaths <= spares:
+            metrics = server.serve(small_trace())
+            assert metrics.finished == 8
+            assert metrics.remaps == deaths
+            assert metrics.degradations == 0
+        else:
+            with pytest.raises(SpareExhaustionError) as err:
+                server.serve(small_trace())
+            assert err.value.deaths == spares + 1
+            assert err.value.spares_used == spares
+
+    def test_exhaustion_is_an_escalation_error(self):
+        # The fleet catches FaultEscalationError; spare exhaustion must
+        # arrive through that contract.
+        assert issubclass(SpareExhaustionError, FaultEscalationError)
+
+    def test_lone_wafer_degrades_instead(self, clean_makespan):
+        """Without the fleet flag the same schedule degrades in place —
+        the pre-fleet behaviour is untouched."""
+        server = small_server(
+            spare_regions=1,
+            fault_schedule=death_schedule(clean_makespan, 2),
+        )
+        metrics = server.serve(small_trace())
+        assert metrics.remaps == 1
+        assert metrics.degradations == 1
+
+
+# ----------------------------------------------------------------------
+# serve() == stepping
+# ----------------------------------------------------------------------
+
+class TestServeEngineEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), slices=st.integers(1, 7))
+    def test_any_clock_slicing_matches_closed_form(self, seed, slices):
+        trace = small_trace(6, seed=seed)
+        closed = small_server().serve(trace)
+        engine = ServeEngine(small_server(), trace)
+        dt = max(closed.makespan_s / slices, 1e-9)
+        target = 0.0
+        while engine.active:
+            target += dt
+            engine.advance_to(target)
+        sliced = engine.finish()
+        assert sliced.makespan_s == closed.makespan_s
+        assert sliced.total_decode_tokens == closed.total_decode_tokens
+        assert [s.finish_s for s in sliced.completed] == \
+            [s.finish_s for s in closed.completed]
+        assert len(sliced.events) == len(closed.events)
+
+    def test_submit_mid_run_is_admitted_at_engine_clock(self):
+        engine = ServeEngine(small_server(), small_trace(4))
+        while engine.active and engine.now <= 0:
+            engine.step()
+        late = Request(99, seq_in=64, seq_out=8, arrival_s=0.0)
+        engine.submit(late)
+        metrics = engine.run()
+        stats = next(
+            s for s in metrics.completed if s.request.request_id == 99
+        )
+        assert stats.finish_s > 0
+
+    def test_drained_engine_refuses_submissions(self):
+        engine = ServeEngine(small_server(), small_trace(4))
+        engine.step()
+        snapshots = engine.drain()
+        assert snapshots and engine.drained
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            engine.submit(Request(99, seq_in=64, seq_out=8))
+
+    def test_drain_conserves_requests(self):
+        trace = small_trace(6)
+        engine = ServeEngine(small_server(), trace)
+        for _ in range(3):
+            engine.step()
+        snapshots = engine.drain()
+        metrics = engine.finish()
+        assert len(metrics.completed) + len(metrics.rejected) == len(trace)
+        assert {s.request.request_id for s in snapshots} <= \
+            {r.request_id for r in metrics.rejected}
+
+
+# ----------------------------------------------------------------------
+# Health ledger ring buffer
+# ----------------------------------------------------------------------
+
+class TestHealthRingBuffer:
+    def test_log_bounded_with_dropped_counter(self):
+        monitor = HealthMonitor(max_log_entries=4)
+        for k in range(7):
+            monitor.record_fault(float(k), "transient", "retry",
+                                 downtime_s=0.1, detail=f"f{k}")
+        assert len(monitor.log) == 4
+        assert monitor.dropped_entries == 3
+        assert [e.detail for e in monitor.log] == ["f3", "f4", "f5", "f6"]
+
+    def test_aggregates_survive_eviction(self):
+        monitor = HealthMonitor(max_log_entries=2)
+        for k in range(6):
+            monitor.record_fault(float(k), "transient", "retry",
+                                 downtime_s=0.5)
+        assert monitor.incidents == 6
+        assert monitor.downtime_s == pytest.approx(3.0)
+        assert monitor.mttr_s == pytest.approx(0.5)
+        assert monitor.action_counts() == {"retry": 6}
+
+    def test_unbounded_when_configured(self):
+        monitor = HealthMonitor(max_log_entries=None)
+        for k in range(5000):
+            monitor.record_fault(float(k), "transient", "retry")
+        assert len(monitor.log) == 5000
+        assert monitor.dropped_entries == 0
+
+    def test_bound_validation(self):
+        with pytest.raises(ConfigurationError):
+            HealthMonitor(max_log_entries=0)
+
+    def test_serving_run_respects_small_bound(self, clean_makespan):
+        monitor = HealthMonitor(max_log_entries=1)
+        server = small_server(
+            health=monitor,
+            fault_schedule=death_schedule(clean_makespan, 2),
+        )
+        metrics = server.serve(small_trace())
+        assert len(monitor.log) == 1
+        assert monitor.dropped_entries >= 1
+        # The metrics report carries only the retained window, but the
+        # downtime ledger kept the full story.
+        assert len(metrics.fault_log) == 1
+        assert metrics.remaps + metrics.degradations == 2
+        assert monitor.incidents == 2
