@@ -1,18 +1,23 @@
-"""Orchestration for ``repro check``: run the lint, run the sanitizer,
-merge the findings into one report.
+"""Orchestration for ``repro check``: run the lint, the cache-key
+dataflow pass, the sanitizer — and, on request, the replay auditor —
+then merge the findings into one report.
 
-The lint side walks ``src/repro`` with every registered AST rule and
-subtracts the baseline; the sanitize side executes the clean kernel
-suite (plus the attention path and remapped variants) and checks each
-trace against its machine's PLMR limits.  ``CheckReport.ok`` is the
-``--strict`` exit criterion.
+The lint side walks the extended sweep (``src/repro``, ``tests``,
+``tools``, ``benchmarks``; fixtures excluded) with every registered AST
+rule and subtracts the baseline; the dataflow side checks every
+cache-key site against repo-wide mutations of its inputs; the sanitize
+side executes the clean kernel suite (plus the attention path and
+remapped variants) and checks each trace against its machine's PLMR
+limits; the determinism side replays serve / fleet / kernel scenarios
+twice from one seed and requires identical phase signatures.
+``CheckReport.ok`` is the ``--strict`` exit criterion.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.findings import Finding
 from repro.analysis.lint.baseline import (
@@ -20,7 +25,7 @@ from repro.analysis.lint.baseline import (
     apply_baseline,
     load_baseline,
 )
-from repro.analysis.lint.engine import SOURCE_ROOT, lint_tree
+from repro.analysis.lint.engine import DEFAULT_ROOTS, SOURCE_ROOT, lint_repo
 
 
 @dataclass
@@ -28,13 +33,21 @@ class CheckReport:
     """Combined outcome of one ``repro check`` invocation."""
 
     lint_findings: List[Finding] = field(default_factory=list)
+    dataflow_findings: List[Finding] = field(default_factory=list)
     sanitize_findings: List[Finding] = field(default_factory=list)
+    audit_findings: List[Finding] = field(default_factory=list)
     kernels_checked: List[str] = field(default_factory=list)
+    audits: List[object] = field(default_factory=list)  # AuditReport
     baselined: int = 0
 
     @property
     def findings(self) -> List[Finding]:
-        return [*self.lint_findings, *self.sanitize_findings]
+        return [
+            *self.lint_findings,
+            *self.dataflow_findings,
+            *self.sanitize_findings,
+            *self.audit_findings,
+        ]
 
     @property
     def ok(self) -> bool:
@@ -44,8 +57,11 @@ class CheckReport:
         return {
             "ok": self.ok,
             "lint": [f.to_dict() for f in self.lint_findings],
+            "dataflow": [f.to_dict() for f in self.dataflow_findings],
             "sanitize": [f.to_dict() for f in self.sanitize_findings],
+            "audit": [f.to_dict() for f in self.audit_findings],
             "kernels_checked": list(self.kernels_checked),
+            "audits": [a.to_dict() for a in self.audits],
             "baselined": self.baselined,
         }
 
@@ -56,11 +72,20 @@ class CheckReport:
             + (f" ({self.baselined} baselined)" if self.baselined else "")
         )
         lines.extend("  " + f.render() for f in self.lint_findings)
+        lines.append(f"dataflow: {len(self.dataflow_findings)} finding(s)")
+        lines.extend("  " + f.render() for f in self.dataflow_findings)
         lines.append(
             f"sanitize: {len(self.sanitize_findings)} finding(s) over "
             f"{len(self.kernels_checked)} trace(s)"
         )
         lines.extend("  " + f.render() for f in self.sanitize_findings)
+        if self.audits:
+            lines.append(
+                f"determinism: {len(self.audit_findings)} finding(s) over "
+                f"{len(self.audits)} scenario(s)"
+            )
+            for audit in self.audits:
+                lines.extend("  " + ln for ln in audit.render().splitlines())
         lines.append("check: " + ("OK" if self.ok else "FAIL"))
         return "\n".join(lines)
 
@@ -68,19 +93,43 @@ class CheckReport:
 def run_check(
     lint: bool = True,
     sanitize: bool = True,
+    determinism: bool = False,
     grid: int = 4,
     kernels: Optional[List[str]] = None,
     remapped: bool = True,
-    source_root: Path = SOURCE_ROOT,
+    source_root: Optional[Path] = None,
+    lint_roots: Optional[Sequence[Path]] = None,
     baseline_path: Path = BASELINE_PATH,
+    audit_seed: int = 0,
+    audit_runs: int = 2,
+    scenarios: Optional[Sequence[str]] = None,
 ) -> CheckReport:
-    """Run the requested sides of the conformance check."""
+    """Run the requested sides of the conformance check.
+
+    ``source_root`` narrows the static sides (lint + dataflow) to one
+    tree — used by tests; the default sweeps ``DEFAULT_ROOTS`` for the
+    lint and ``src/repro`` for the dataflow pass.
+    """
     report = CheckReport()
     if lint:
-        raw = lint_tree(source_root)
+        if source_root is not None:
+            roots: Sequence[Path] = (source_root,)
+        else:
+            roots = tuple(lint_roots) if lint_roots else DEFAULT_ROOTS
+        raw = lint_repo(roots)
         kept = apply_baseline(raw, load_baseline(baseline_path))
         report.lint_findings = kept
         report.baselined = len(raw) - len(kept)
+
+        from repro.analysis.determinism.cachekeys import check_cache_keys
+
+        dataflow_roots = (source_root,) if source_root is not None else (
+            SOURCE_ROOT,
+        )
+        raw_flow = check_cache_keys(roots=dataflow_roots)
+        kept_flow = apply_baseline(raw_flow, load_baseline(baseline_path))
+        report.dataflow_findings = kept_flow
+        report.baselined += len(raw_flow) - len(kept_flow)
     if sanitize:
         from repro.analysis.kernels import run_kernel_checks
 
@@ -92,4 +141,12 @@ def run_check(
         for sub in sanitize_reports:
             report.kernels_checked.append(sub.subject)
             report.sanitize_findings.extend(sub.findings)
+    if determinism:
+        from repro.analysis.determinism.audit import audit_all
+
+        report.audits = list(
+            audit_all(seed=audit_seed, runs=audit_runs, scenarios=scenarios)
+        )
+        for audit in report.audits:
+            report.audit_findings.extend(audit.findings())
     return report

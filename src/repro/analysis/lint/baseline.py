@@ -2,10 +2,13 @@
 
 A baseline file records fingerprints of known, accepted findings so
 ``repro check`` only fails on *new* violations.  Fingerprints hash the
-rule id, the repo-relative path, and the normalized source line — not
-the line *number* — so unrelated edits above a baselined finding do not
-invalidate it, while any change to the offending line itself surfaces
-the finding again.
+rule id, the file *basename*, and the normalized source line — not the
+line number or the directory — so unrelated edits above a baselined
+finding, and moving a module between directories, do not invalidate it,
+while any change to the offending line itself surfaces the finding
+again.  (Version 2 of the format; version-1 files hashed the full
+relative path and are discarded on load so stale entries cannot mask
+new findings.)
 
 The repo keeps its baseline at ``tools/lint_baseline.json`` (empty: the
 tree lints clean); ``repro check --update-baseline`` rewrites it.
@@ -22,7 +25,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.lint.engine import REPO_ROOT
 
 BASELINE_PATH = REPO_ROOT / "tools" / "lint_baseline.json"
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 
 def _context_line(finding: Finding) -> str:
@@ -38,18 +41,31 @@ def _context_line(finding: Finding) -> str:
 
 
 def fingerprint(finding: Finding, context: Optional[str] = None) -> str:
-    """Stable identity of a finding: sha1 of rule | path | source line."""
+    """Stable identity of a finding: sha1 of rule | basename | source line.
+
+    Using the basename instead of the full relative path keeps the
+    fingerprint stable when a module moves between directories — the
+    finding's identity is the offending line, not where it lives.
+    """
     if context is None:
         context = _context_line(finding)
-    payload = f"{finding.rule}|{finding.path or ''}|{context}"
+    basename = (finding.path or "").replace("\\", "/").rsplit("/", 1)[-1]
+    payload = f"{finding.rule}|{basename}|{context}"
     return hashlib.sha1(payload.encode("utf-8")).hexdigest()
 
 
 def load_baseline(path: Path = BASELINE_PATH) -> Set[str]:
-    """Fingerprints recorded in the baseline file (empty when absent)."""
+    """Fingerprints recorded in the baseline file (empty when absent).
+
+    A file written by an older ``BASELINE_VERSION`` is ignored — its
+    fingerprints use a different recipe, and silently honouring them
+    would let stale entries mask genuinely new findings.
+    """
     if not path.exists():
         return set()
     data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        return set()
     return set(data.get("fingerprints", []))
 
 

@@ -32,6 +32,15 @@ from repro.analysis.findings import Finding
 
 REPO_ROOT = Path(__file__).resolve().parents[4]
 SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+#: Trees swept by :func:`lint_repo` (the extended sweep ``repro check``
+#: and ``--update-baseline`` run).  ``tests/fixtures`` is excluded by
+#: :func:`lint_repo` itself: fixtures *seed* findings on purpose.
+DEFAULT_ROOTS = (
+    SOURCE_ROOT,
+    REPO_ROOT / "tests",
+    REPO_ROOT / "tools",
+    REPO_ROOT / "benchmarks",
+)
 
 _ALLOW_COMMENT = re.compile(r"#\s*plmr:\s*allow=([\w\-*,\s]+)")
 
@@ -68,7 +77,7 @@ class LintRule:
         )
 
 
-_REGISTRY: Dict[str, Type[LintRule]] = {}
+_REGISTRY: Dict[str, Type[LintRule]] = {}  # plmr: allow=mutable-module-state  (import-time only: register_rule rejects re-registration)
 
 
 def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
@@ -81,18 +90,21 @@ def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
     return cls
 
 
-def all_rules() -> List[LintRule]:
-    """Fresh instances of every registered rule, import side effects included."""
-    # Importing the rules module populates the registry.
+def _load_rule_modules() -> None:
+    # Importing the rule modules populates the registry.
+    from repro.analysis.determinism import rules as _det_rules  # noqa: F401
     from repro.analysis.lint import rules as _rules  # noqa: F401
 
+
+def all_rules() -> List[LintRule]:
+    """Fresh instances of every registered rule, import side effects included."""
+    _load_rule_modules()
     return [cls() for cls in _REGISTRY.values()]
 
 
 def rule_ids() -> List[str]:
     """Stable list of registered rule ids."""
-    from repro.analysis.lint import rules as _rules  # noqa: F401
-
+    _load_rule_modules()
     return list(_REGISTRY)
 
 
@@ -172,4 +184,28 @@ def lint_tree(
     findings: List[Finding] = []
     for path in sorted(root.rglob("*.py")):
         findings.extend(lint_file(path, rules))
+    return findings
+
+
+def lint_repo(
+    roots: Sequence[Path] = DEFAULT_ROOTS,
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Finding]:
+    """The extended sweep: lint src, tests, tools and benchmarks.
+
+    ``tests/fixtures`` is skipped — those modules seed findings on
+    purpose so the analyzers' true-positive tests have something to
+    catch.
+    """
+    if rules is None:
+        rules = all_rules()
+    findings: List[Finding] = []
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            rel = str(path.resolve()).replace("\\", "/")
+            if "/tests/fixtures/" in rel:
+                continue
+            findings.extend(lint_file(path, rules))
     return findings

@@ -528,34 +528,75 @@ def cmd_profile(args) -> int:
 
 
 def cmd_check(args) -> int:
-    """PLMR conformance check: AST lint + trace sanitizer over the zoo.
+    """PLMR conformance check: AST lint + cache-key dataflow + trace
+    sanitizer over the zoo, with an optional replay audit.
 
     ``--strict`` exits non-zero on any finding; ``--json`` emits the
-    machine-readable report the CI job archives.  ``--update-baseline``
-    records the current lint findings as accepted, so only new
-    violations fail subsequent runs.
+    machine-readable report the CI job archives.  ``--determinism``
+    additionally runs each serve / fleet / kernel scenario twice from
+    one seed and fails on any phase-signature divergence
+    (``--inject-divergence`` perturbs the final run to prove the
+    auditor localizes a real one).  ``--update-baseline`` sweeps the
+    extended lint roots *and* the dataflow pass, records the findings
+    as accepted, and prints the delta versus the previous baseline.
     """
     import json as _json
 
     from repro.analysis.checker import run_check
-    from repro.analysis.lint.baseline import BASELINE_PATH, write_baseline
-    from repro.analysis.lint.engine import lint_tree
+    from repro.analysis.lint.baseline import (
+        BASELINE_PATH,
+        fingerprint,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.lint.engine import lint_repo
 
     if args.update_baseline:
-        findings = lint_tree()
+        from repro.analysis.determinism.cachekeys import check_cache_keys
+
+        findings = lint_repo() + check_cache_keys()
+        before = load_baseline()
         data = write_baseline(findings)
-        print(f"baseline: {len(data['fingerprints'])} fingerprint(s) "
-              f"written to {BASELINE_PATH}")
+        after = set(data["fingerprints"])
+        added, dropped = len(after - before), len(before - after)
+        print(f"baseline: {len(after)} fingerprint(s) "
+              f"written to {BASELINE_PATH} "
+              f"(+{added} new, -{dropped} cleared)")
         return 0
 
     kernels = args.kernels.split(",") if args.kernels else None
+    scenarios = args.scenario.split(",") if args.scenario else None
     report = run_check(
         lint=not args.skip_lint,
         sanitize=not args.skip_sanitize,
+        determinism=args.determinism,
         grid=args.grid,
         kernels=kernels,
         remapped=not args.no_remapped,
+        audit_seed=args.audit_seed,
+        audit_runs=args.runs,
+        scenarios=scenarios,
     )
+    if args.determinism and args.inject_divergence:
+        from repro.analysis.determinism.audit import audit_scenario
+
+        name = scenarios[0] if scenarios else "kernel"
+
+        def _perturb(events):
+            if not events:
+                return events
+            mutated = list(events)
+            victim = mutated[len(mutated) // 2]
+            mutated[len(mutated) // 2] = type(victim)(
+                phase=victim.phase, payload=victim.payload + "|perturbed"
+            )
+            return mutated
+
+        audit = audit_scenario(
+            name, seed=args.audit_seed, runs=args.runs, perturb=_perturb
+        )
+        report.audits.append(audit)
+        report.audit_findings.extend(audit.findings())
     if args.json:
         print(_json.dumps(report.to_dict(), indent=2))
     else:
@@ -809,7 +850,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-remapped", action="store_true",
                    help="skip the remapped/degraded-fabric sweep")
     p.add_argument("--update-baseline", action="store_true",
-                   help="accept current lint findings into the baseline")
+                   help="accept current lint + dataflow findings into "
+                        "the baseline (extended sweep) and print the delta")
+    p.add_argument("--determinism", action="store_true",
+                   help="run the double-run replay audit (serve / fleet "
+                        "/ kernel scenarios)")
+    p.add_argument("--scenario", default=None,
+                   help="comma-separated audit scenarios "
+                        "(default: serve,fleet,kernel)")
+    p.add_argument("--audit-seed", type=int, default=0,
+                   help="seed every audited run starts from")
+    p.add_argument("--runs", type=int, default=2,
+                   help="same-seed runs to compare per scenario")
+    p.add_argument("--inject-divergence", action="store_true",
+                   help="perturb the final run to demonstrate divergence "
+                        "localization (makes the check fail)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(

@@ -1,0 +1,37 @@
+"""True-positive fixture: the PR-6 ``retrain_link`` bug shape.
+
+``FlowPricer.price`` memoizes on ``(link,)`` while the priced value
+depends on ``LinkState.degraded``; ``LinkState.retrain`` mutates that
+field without bumping a version counter the key consumes.  The cache-key
+dataflow pass must flag the mutation (``unversioned-cache-mutation``).
+"""
+
+
+class LinkState:
+    def __init__(self):
+        self.degraded = {}
+        self._links_version = 0
+
+    def factor(self, link):
+        if link in self.degraded:
+            return self.degraded[link]
+        return 1.0
+
+    def retrain(self, link, value):
+        # BUG: mutates a cached input without bumping _links_version.
+        self.degraded[link] = value
+
+
+class FlowPricer:
+    def __init__(self, links):
+        self.links = links
+        self._price_cache = {}
+
+    def price(self, link):
+        key = (link,)  # BUG: key omits links_version
+        hit = self._price_cache.get(key)
+        if hit is not None:
+            return hit
+        value = self.links.factor(link)
+        self._price_cache[key] = value
+        return value

@@ -1,0 +1,13 @@
+"""Fixture: object-identity and untyped tiebreakers in ordered structures."""
+
+import heapq
+
+
+def schedule(heap, at_s, event):
+    # object-identity-ordering: the tiebreaker is the event object itself,
+    # so equal timestamps compare by whatever __lt__ (or a crash) gives.
+    heapq.heappush(heap, (at_s, event))
+
+
+def stable_order(items):
+    return sorted(items, key=lambda o: id(o))   # object-identity-ordering

@@ -1,0 +1,7 @@
+"""Fixture: mutable module-level state with no version companion."""
+
+_RESULT_CACHE = {}          # mutable-module-state
+
+
+def lookup(key):
+    return _RESULT_CACHE.get(key)

@@ -1,0 +1,18 @@
+"""Fixture: unordered iteration feeding order-sensitive sinks."""
+
+import hashlib
+import heapq
+
+
+def signature_of(names):
+    digest = hashlib.sha256()
+    for name in {n.strip() for n in names}:    # unordered-iteration
+        digest.update(name.encode())
+    return digest.hexdigest()
+
+
+def drain(pending):
+    heap = []
+    for item in set(pending):                  # unordered-iteration
+        heapq.heappush(heap, item)
+    return heap

@@ -1,0 +1,18 @@
+"""Fixture: wall-clock reads that would desynchronize replays."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_event(events):
+    events.append(time.time())          # wall-clock-read
+
+
+def measure():
+    start = perf_counter()              # wall-clock-read
+    return start
+
+
+def label_run():
+    return datetime.now().isoformat()   # wall-clock-read

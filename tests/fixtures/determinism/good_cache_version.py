@@ -1,0 +1,40 @@
+"""Negative fixture: the version-counter discipline, applied correctly.
+
+Same shape as :mod:`bad_cache_mutation`, but the mutator bumps
+``_epoch_version`` and the cache key consumes it — the dataflow pass
+must stay quiet.
+"""
+
+
+class EpochState:
+    def __init__(self):
+        self.weights = {}
+        self._epoch_version = 0
+
+    def weight(self, link):
+        if link in self.weights:
+            return self.weights[link]
+        return 1.0
+
+    @property
+    def epoch_version(self):
+        return self._epoch_version
+
+    def retrain(self, link, value):
+        self.weights[link] = value
+        self._epoch_version += 1
+
+
+class EpochPricer:
+    def __init__(self, state):
+        self.state = state
+        self._epoch_cache = {}
+
+    def price(self, link):
+        key = (self.state.epoch_version, link)
+        hit = self._epoch_cache.get(key)
+        if hit is not None:
+            return hit
+        value = self.state.weight(link)
+        self._epoch_cache[key] = value
+        return value

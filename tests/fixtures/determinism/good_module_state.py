@@ -1,0 +1,8 @@
+"""Negative fixture: module state paired with a version counter."""
+
+_PLAN_CACHE = {}
+_PLAN_CACHE_VERSION = 0
+
+
+def lookup(key):
+    return _PLAN_CACHE.get((_PLAN_CACHE_VERSION, key))

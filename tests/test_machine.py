@@ -125,7 +125,7 @@ class TestComputeAndTrace:
 
     def test_steps_advance(self, mesh4):
         assert mesh4.step == 0
-        mesh4.advance_step()
+        mesh4.advance_step()  # plmr: allow=bare-advance-step
         assert mesh4.step == 1
 
     def test_trace_comm_metrics(self, mesh4):

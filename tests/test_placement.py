@@ -419,16 +419,18 @@ class TestCarveOutLintRule:
             "tools/fake.py"
         )
 
-    def test_repo_baseline_covers_only_the_shims(self):
-        """The whole tree lints clean: only the two shims are baselined."""
-        from repro.analysis.lint import apply_baseline, lint_tree
+    def test_shims_carry_inline_allowances(self):
+        """The whole tree lints clean: the two legacy shims suppress the
+        rule inline (``# plmr: allow=``) so the baseline stays empty."""
+        from repro.analysis.lint import lint_tree
         from repro.analysis.lint.baseline import load_baseline
+        from repro.analysis.lint.engine import REPO_ROOT
 
         findings = [f for f in lint_tree()
                     if f.rule == "region-carveout-outside-planner"]
-        assert len(findings) == 2
-        assert {f.path for f in findings} == {
-            "src/repro/llm/autotune.py",
-            "src/repro/runtime/placement.py",
-        }
-        assert apply_baseline(findings, load_baseline()) == []
+        assert findings == []
+        assert load_baseline() == set()
+        for shim in ("src/repro/llm/autotune.py",
+                     "src/repro/runtime/placement.py"):
+            source = (REPO_ROOT / shim).read_text(encoding="utf-8")
+            assert "plmr: allow=region-carveout-outside-planner" in source

@@ -1,0 +1,139 @@
+"""The double-run replay auditor: same-seed identity over real
+scenarios, phase-granular signatures, and divergence localization."""
+
+import pytest
+
+from repro.analysis.determinism import (
+    SCENARIOS,
+    AuditEvent,
+    ScenarioRun,
+    audit_all,
+    audit_scenario,
+    run_scenario,
+)
+from repro.analysis.determinism.audit import _locate_divergence
+
+
+# ----------------------------------------------------------------------
+# scenario identity (the acceptance gate)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("scenario", ["serve", "fleet", "kernel"])
+def test_same_seed_runs_are_identical(scenario):
+    report = audit_scenario(scenario, seed=0, runs=2)
+    assert report.ok, report.render()
+    assert report.divergence is None
+    sigs = [run.signature() for run in report.runs]
+    assert sigs[0] == sigs[1]
+    assert report.findings() == []
+
+
+def test_signatures_stable_across_separate_processes_shape():
+    # Two independent invocations (fresh model/device/trace stacks)
+    # must reproduce the same signature — nothing in the pipeline may
+    # depend on object identity or interpreter state.
+    a = run_scenario("kernel", seed=3)
+    b = run_scenario("kernel", seed=3)
+    assert a.signature() == b.signature()
+    assert a.phase_signatures() == b.phase_signatures()
+
+
+def test_different_seeds_differ():
+    a = run_scenario("kernel", seed=0)
+    b = run_scenario("kernel", seed=1)
+    assert a.signature() != b.signature()
+
+
+def test_audit_all_covers_every_scenario():
+    reports = audit_all(seed=0, runs=2, scenarios=["kernel"])
+    assert [r.scenario for r in reports] == ["kernel"]
+    assert set(SCENARIOS) == {"serve", "fleet", "kernel"}
+    payload = reports[0].to_dict()
+    assert payload["ok"] is True
+    assert payload["scenario"] == "kernel"
+    assert payload["runs"] == 2
+    assert payload["divergence"] is None
+    assert payload["phases"]
+
+
+def test_unknown_scenario_and_bad_run_count_rejected():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        run_scenario("nope", seed=0)
+    with pytest.raises(ConfigurationError):
+        audit_scenario("kernel", seed=0, runs=1)
+
+
+# ----------------------------------------------------------------------
+# divergence localization
+# ----------------------------------------------------------------------
+
+def test_injected_divergence_is_localized():
+    def perturb(events):
+        mutated = list(events)
+        for i, ev in enumerate(mutated):
+            if ev.phase == "meshgemm-compute-shift":
+                mutated[i] = AuditEvent(
+                    phase=ev.phase, payload=ev.payload + "|tampered"
+                )
+                break
+        return mutated
+
+    report = audit_scenario("kernel", seed=0, runs=2, perturb=perturb)
+    assert not report.ok
+    div = report.divergence
+    assert div is not None
+    assert div.phase == "meshgemm-compute-shift"
+    assert div.left != div.right
+    assert div.right.endswith("|tampered")
+    rendered = div.render()
+    assert "first divergence" in rendered
+    assert "run A:" in rendered and "run B:" in rendered
+    findings = report.findings()
+    assert len(findings) == 1
+    assert findings[0].rule == "replay-divergence"
+    assert findings[0].source == "audit"
+
+
+def test_dropped_event_divergence_located():
+    def perturb(events):
+        mutated = [e for e in events if e.phase != "meshgemm-align"]
+        return mutated
+
+    report = audit_scenario("kernel", seed=0, runs=2, perturb=perturb)
+    assert not report.ok
+    assert report.divergence is not None
+    assert report.divergence.phase == "meshgemm-align"
+
+
+def test_bisect_points_at_first_divergent_event():
+    left = ScenarioRun(
+        scenario="synthetic", seed=0,
+        events=tuple(
+            AuditEvent(phase="p", payload=f"event-{i}") for i in range(64)
+        ),
+    )
+    mutated = [
+        AuditEvent(phase="p", payload=f"event-{i}") for i in range(64)
+    ]
+    mutated[41] = AuditEvent(phase="p", payload="event-41-corrupt")
+    right = ScenarioRun(scenario="synthetic", seed=0, events=tuple(mutated))
+    div = _locate_divergence(left, right)
+    assert div is not None
+    assert div.phase == "p"
+    assert div.index == 41
+    assert div.left == "event-41"
+    assert div.right == "event-41-corrupt"
+    # Context shows the matching events just before the split.
+    assert any("event-40" in line for line in div.context)
+
+
+def test_phase_signatures_keep_first_appearance_order():
+    events = tuple(
+        AuditEvent(phase=ph, payload=str(i))
+        for i, ph in enumerate(["warm", "steady", "warm", "drain"])
+    )
+    run = ScenarioRun(scenario="s", seed=0, events=events)
+    assert run.phases() == ["warm", "steady", "drain"]
+    assert list(run.phase_signatures()) == ["warm", "steady", "drain"]

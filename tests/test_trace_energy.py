@@ -22,8 +22,8 @@ class TestTrace:
 
     def test_comm_aggregation(self):
         trace = Trace()
-        trace.record_comm(0, "a", [3, 5], [10, 20], {(0, 0): {"a"}})
-        trace.record_comm(1, "b", [2], [30], {(0, 0): {"b"}, (1, 0): {"b"}})
+        trace.record_comm(0, "a", [3, 5], [10, 20], {(0, 0): {"a"}})  # plmr: allow=raw-trace-record
+        trace.record_comm(1, "b", [2], [30], {(0, 0): {"b"}, (1, 0): {"b"}})  # plmr: allow=raw-trace-record
         assert trace.critical_path_hops == 5
         assert trace.total_payload_bytes == 60
         assert trace.max_paths_per_core == 2
@@ -31,14 +31,14 @@ class TestTrace:
 
     def test_compute_aggregation(self):
         trace = Trace()
-        trace.record_compute(0, "mac", [10.0, 20.0, 5.0])
+        trace.record_compute(0, "mac", [10.0, 20.0, 5.0])  # plmr: allow=raw-trace-record
         assert trace.computes[0].max_macs == 20.0
         assert trace.total_macs == 35.0
         assert trace.computes[0].num_cores == 3
 
     def test_empty_compute_ignored(self):
         trace = Trace()
-        trace.record_compute(0, "noop", [])
+        trace.record_compute(0, "noop", [])  # plmr: allow=raw-trace-record
         assert not trace.computes
 
     def test_memory_high_water_mark(self):
@@ -49,9 +49,9 @@ class TestTrace:
 
     def test_step_counting(self):
         trace = Trace()
-        trace.record_comm(0, "a", [1], [1], {})
-        trace.record_comm(0, "b", [1], [1], {})
-        trace.record_compute(1, "c", [1.0])
+        trace.record_comm(0, "a", [1], [1], {})  # plmr: allow=raw-trace-record
+        trace.record_comm(0, "b", [1], [1], {})  # plmr: allow=raw-trace-record
+        trace.record_compute(1, "c", [1.0])  # plmr: allow=raw-trace-record
         assert trace.total_steps == 2
 
     def test_summary_keys(self):
