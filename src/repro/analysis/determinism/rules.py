@@ -53,15 +53,18 @@ class WallClockReadRule(LintRule):
     Simulated time is event time: every timestamp in a trace, metrics
     rollup, or timeline signature must derive from the seeded event
     queue.  A real-clock read smuggles host state into the run, so two
-    same-seed runs stop being byte-identical.  The simulator timing
-    harness (``bench/simbench.py``) is the one place measuring the host
-    is the point.
+    same-seed runs stop being byte-identical.  The timing harnesses
+    (``bench/simbench.py``, ``bench/servebench.py``) are the one place
+    where measuring the host is the point.
     """
 
     rule_id = "wall-clock-read"
     description = "real-time clock read outside the timing harness"
 
-    ALLOWED_SUFFIXES = ("src/repro/bench/simbench.py",)
+    ALLOWED_SUFFIXES = (
+        "src/repro/bench/simbench.py",
+        "src/repro/bench/servebench.py",
+    )
     TIME_FUNCS = frozenset({
         "time", "time_ns", "perf_counter", "perf_counter_ns",
         "monotonic", "monotonic_ns", "process_time", "process_time_ns",

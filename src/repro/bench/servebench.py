@@ -1,0 +1,246 @@
+"""Serving-loop macro-benchmarks: what horizon stepping actually buys.
+
+:mod:`repro.bench.simbench` times the functional simulator's inner
+kernels; this module times the *serving simulation* end to end — whole
+traces through :class:`~repro.serving.chunked.ServeEngine` and whole
+chaos scenarios through :class:`~repro.fleet.router.FleetRouter` — with
+the macro-compiled loop (``horizon=True``: shape-keyed step-cost cache,
+horizon-batched decode, incremental scheduling) against the per-event
+reference loop (``horizon=False``).  The headline metric is
+**simulated requests per wall-second**.
+
+Every scenario run is asserted bit-identical across the two modes
+before its timings count: same ``FleetMetrics.timeline_signature``,
+same summaries, same per-request outcomes.  The benchmark is therefore
+also a differential test — a speedup that changes a single clock tick
+fails the run instead of publishing a wrong number.
+
+Timing discipline follows simbench: modes interleave round-robin and
+the per-mode **minimum** over rounds is kept, so ambient container load
+hits both modes equally and reported *ratios* stay stable even when
+the absolute milliseconds swing.  ``--smoke`` keeps every scenario at
+full shape (ratios must remain comparable with the committed baseline)
+and only cuts the number of rounds.
+
+``python -m repro bench --suite serving`` writes the report to
+``BENCH_serving.json`` at the repo root — the single source the
+EXPERIMENTS.md generator and the CI perf-smoke step read.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.bench.simbench import load_report, write_report  # noqa: F401
+from repro.core import WSE2
+from repro.fleet.chaos import bursty_trace, poisson_trace, run_chaos
+from repro.fleet.faults import FleetFaultEvent, FleetFaultSchedule
+from repro.fleet.fleet import FleetConfig
+from repro.fleet.metrics import FleetMetrics
+from repro.llm.config import get_model
+from repro.serving.chunked import ServeEngine, WaferServer
+from repro.serving.metrics import ServingMetrics
+from repro.serving.trace import synthetic_trace
+
+#: Canonical artifact name, written at the repository root.
+BENCH_FILENAME = "BENCH_serving.json"
+SCHEMA_VERSION = 1
+
+#: CI warns (non-blocking) when a speedup ratio degrades by more than
+#: this fraction relative to the committed baseline.
+REGRESSION_TOLERANCE = 0.20
+
+#: Fixed seed: the benchmark doubles as a differential test, so the
+#: workload must replay identically everywhere.
+SEED = 0
+
+#: One scenario: (requests served, run(horizon) -> metrics).
+Scenario = Tuple[int, Callable[[bool], object]]
+
+
+# ---------------------------------------------------------------------------
+# Scenario construction
+# ---------------------------------------------------------------------------
+def _serve_scenarios(model, device) -> Dict[str, Scenario]:
+    """Single-wafer traces through ``ServeEngine``, one per serve mode."""
+    trace = synthetic_trace(
+        16, seed=SEED, mean_interarrival_s=0.02,
+        seq_in_range=(256, 1024), seq_out_range=(96, 256),
+        ttft_slo_s=5.0, tpot_slo_s=0.5,
+    )
+
+    def run(mode: str, horizon: bool) -> ServingMetrics:
+        server = WaferServer(
+            model, device, mode=mode, chunk_tokens=256,
+            default_context_len=2048,
+        )
+        return ServeEngine(server, trace, horizon=horizon).run()
+
+    return {
+        "serve_chunked": (
+            len(trace), lambda horizon: run("chunked", horizon)),
+        "serve_exclusive": (
+            len(trace), lambda horizon: run("exclusive", horizon)),
+    }
+
+
+def _fleet_scenarios(model, device) -> Dict[str, Scenario]:
+    """The fleet chaos ladder plus a decode-heavy bursty scenario.
+
+    Mirrors :func:`repro.fleet.chaos.chaos_sweep` construction: a clean
+    reference run pins the fault horizon, then wafer-down and churn
+    schedules derive from it.  ``fleet_bursty`` is the headline
+    decode-bound scenario — long outputs, flash-crowd arrivals, a
+    mid-trace wafer loss — where horizon batching has the most per-step
+    overhead to erase.
+    """
+    def config(horizon: bool) -> FleetConfig:
+        return FleetConfig(
+            n_wafers=3, chunk_tokens=256, default_context_len=2048,
+            seed=SEED, horizon=horizon,
+        )
+
+    trace = poisson_trace(
+        24, seed=SEED, mean_interarrival_s=0.02,
+        seq_in_range=(256, 1024), seq_out_range=(32, 128),
+        ttft_slo_s=5.0, tpot_slo_s=0.5,
+    )
+    bursts = bursty_trace(
+        32, seed=SEED, seq_in_range=(256, 512), seq_out_range=(192, 384),
+        ttft_slo_s=5.0, tpot_slo_s=0.5,
+    )
+    # The clean reference run pins every schedule's fault horizon (and
+    # warms the shared step-cost cache before any timing starts).
+    horizon_s = run_chaos(model, device, trace, config(False)).makespan_s
+
+    def down_mid() -> FleetFaultSchedule:
+        return FleetFaultSchedule(events=[FleetFaultEvent(
+            at_s=horizon_s * 0.4, kind="wafer_down", wafer=0,
+            duration_s=horizon_s * 0.2, detail="planned mid-trace loss",
+        )], seed=SEED)
+
+    def churn() -> FleetFaultSchedule:
+        return FleetFaultSchedule.generate(
+            3, horizon_s, seed=SEED,
+            wafer_down_rate_hz=4.0 / horizon_s,
+            wafer_degraded_rate_hz=2.0 / horizon_s,
+            down_duration_s=horizon_s * 0.1,
+            degraded_duration_s=horizon_s * 0.2,
+        )
+
+    return {
+        "fleet_clean": (len(trace), lambda h: run_chaos(
+            model, device, trace, config(h))),
+        "fleet_wafer_down": (len(trace), lambda h: run_chaos(
+            model, device, trace, config(h), schedule=down_mid())),
+        "fleet_churn": (len(trace), lambda h: run_chaos(
+            model, device, trace, config(h), schedule=churn())),
+        "fleet_bursty": (len(bursts), lambda h: run_chaos(
+            model, device, bursts, config(h), schedule=down_mid())),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Equivalence oracle
+# ---------------------------------------------------------------------------
+def _assert_identical(name: str, reference, horizon) -> None:
+    """Both modes must produce the same simulation, bit for bit."""
+    if isinstance(reference, FleetMetrics):
+        if reference.timeline_signature() != horizon.timeline_signature():
+            raise AssertionError(
+                f"{name}: horizon timeline diverged from reference")
+        checks = (
+            ("summary", reference.summary(), horizon.summary()),
+            ("outcomes", reference.outcomes, horizon.outcomes),
+            ("segments", reference.wafer_segments, horizon.wafer_segments),
+        )
+    else:
+        checks = (("metrics", reference, horizon),)
+    for what, ref_val, fast_val in checks:
+        if ref_val != fast_val:
+            raise AssertionError(
+                f"{name}: horizon {what} diverged from reference")
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+def _bench_scenario(
+    name: str, scenario: Scenario, rounds: int
+) -> Dict[str, float]:
+    """Interleaved best-of-``rounds`` timing of one scenario."""
+    n_requests, run = scenario
+    best = {"reference": float("inf"), "horizon": float("inf")}
+    for round_idx in range(rounds):
+        results = {}
+        for mode, flag in (("reference", False), ("horizon", True)):
+            t0 = time.perf_counter()
+            results[mode] = run(flag)
+            dt = time.perf_counter() - t0
+            if dt < best[mode]:
+                best[mode] = dt
+        # The first round doubles as the differential test; later
+        # rounds are pure timing (determinism is separately audited).
+        if round_idx == 0:
+            _assert_identical(name, results["reference"], results["horizon"])
+    return {
+        "n_requests": n_requests,
+        "reference_ms": best["reference"] * 1e3,
+        "horizon_ms": best["horizon"] * 1e3,
+        "reference_rps": n_requests / best["reference"],
+        "horizon_rps": n_requests / best["horizon"],
+        "horizon_vs_reference": best["reference"] / best["horizon"],
+    }
+
+
+def run_benchmarks(smoke: bool = False) -> Dict[str, object]:
+    """Run the serving benchmark suite and return the report dict."""
+    model = get_model("llama3-8b")
+    device = WSE2
+    rounds = 2 if smoke else 5
+    scenarios: Dict[str, Scenario] = {}
+    scenarios.update(_serve_scenarios(model, device))
+    scenarios.update(_fleet_scenarios(model, device))
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "serving",
+        "smoke": smoke,
+        "model": model.name,
+        "device": device.name,
+        "benchmarks": {
+            name: _bench_scenario(name, scenario, rounds)
+            for name, scenario in scenarios.items()
+        },
+    }
+
+
+def compare_to_baseline(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Machine-independent regression check on ``horizon_vs_reference``.
+
+    Same discipline as simbench: absolute milliseconds differ per
+    machine, the ratio of two modes measured back-to-back does not.
+    Returns human-readable warnings (empty when nothing degraded more
+    than ``tolerance``); never raises.
+    """
+    warnings: List[str] = []
+    new = report.get("benchmarks", {})
+    old = baseline.get("benchmarks", {})
+    for name in sorted(set(new) & set(old)):
+        try:
+            current = float(new[name]["horizon_vs_reference"])
+            reference = float(old[name]["horizon_vs_reference"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        if reference <= 0:
+            continue
+        if current < reference * (1.0 - tolerance):
+            warnings.append(
+                f"{name}.horizon_vs_reference: {current:.2f}x is more "
+                f"than {tolerance:.0%} below baseline {reference:.2f}x"
+            )
+    return warnings

@@ -607,16 +607,27 @@ def cmd_check(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Simulator micro-benchmarks: compiled vs eager execution.
+    """Wall-clock benchmarks of the simulator and the serving loop.
 
-    Times the functional simulator itself (not the modeled wafer):
-    repeated decode-step GEMV (eager / capture / replay), prefill GEMM
-    (scalar vs vectorized tile compute), and the K-tree allreduce.
-    Writes ``BENCH_simulator.json``; with ``--baseline`` it additionally
-    warns — without failing — when any speedup ratio degraded more than
-    20% versus the committed report (ratios, not milliseconds, so the
-    check is machine-independent).
+    ``--suite simulator`` (the default) times the functional simulator
+    itself (not the modeled wafer): repeated decode-step GEMV (eager /
+    capture / replay), prefill GEMM (scalar vs vectorized tile
+    compute), and the K-tree allreduce; it writes
+    ``BENCH_simulator.json``.  ``--suite serving`` times whole serving
+    traces and fleet chaos scenarios through the macro-compiled loop
+    against the per-event reference loop — asserting both are
+    bit-identical — and writes ``BENCH_serving.json``.  With
+    ``--baseline`` either suite additionally warns — without failing —
+    when any speedup ratio degraded more than 20% versus the committed
+    report (ratios, not milliseconds, so the check is
+    machine-independent).
     """
+    if args.suite == "serving":
+        return _bench_serving(args)
+    return _bench_simulator(args)
+
+
+def _bench_simulator(args) -> int:
     from pathlib import Path
 
     from repro.bench import simbench
@@ -672,6 +683,46 @@ def cmd_bench(args) -> int:
             if not warnings:
                 print("no ratio regressed more than "
                       f"{simbench.REGRESSION_TOLERANCE:.0%} vs baseline")
+    return 0
+
+
+def _bench_serving(args) -> int:
+    from pathlib import Path
+
+    from repro.bench import servebench
+
+    report = servebench.run_benchmarks(smoke=args.smoke)
+    rows = []
+    for name, mark in report["benchmarks"].items():
+        rows.append([
+            name,
+            f"{mark['horizon_ms']:.2f} ms",
+            f"{mark['reference_ms']:.2f} ms",
+            f"{mark['horizon_rps']:,.0f}",
+            f"{mark['horizon_vs_reference']:.2f}x",
+        ])
+    print(format_table(
+        "serving throughput (horizon vs reference, bit-identical)"
+        + (" (smoke)" if args.smoke else ""),
+        ["scenario", "horizon", "reference", "req/s", "speedup"], rows))
+
+    out = Path(args.out) if args.out else Path(servebench.BENCH_FILENAME)
+    servebench.write_report(report, out)
+    print(f"report written to {out}")
+
+    if args.baseline:
+        baseline = servebench.load_report(Path(args.baseline))
+        if baseline is None:
+            print(f"warning: baseline {args.baseline} missing or unreadable",
+                  file=sys.stderr)
+        else:
+            warnings = servebench.compare_to_baseline(report, baseline)
+            for warning in warnings:
+                print(f"warning: perf regression: {warning}",
+                      file=sys.stderr)
+            if not warnings:
+                print("no ratio regressed more than "
+                      f"{servebench.REGRESSION_TOLERANCE:.0%} vs baseline")
     return 0
 
 
@@ -869,11 +920,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="simulator micro-benchmarks (compiled vs eager execution)")
+        help="wall-clock benchmarks (simulator kernels, serving loop)")
+    p.add_argument("--suite", choices=("simulator", "serving"),
+                   default="simulator",
+                   help="simulator: compiled-vs-eager kernel timings; "
+                        "serving: horizon-vs-reference loop throughput")
     p.add_argument("--smoke", action="store_true",
                    help="small shapes / few rounds for CI")
     p.add_argument("--out", default=None,
-                   help="output JSON path (default: BENCH_simulator.json "
+                   help="output JSON path (default: BENCH_<suite>.json "
                         "at the repo root)")
     p.add_argument("--baseline", default=None,
                    help="committed report to compare speedup ratios against "

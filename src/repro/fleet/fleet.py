@@ -41,7 +41,10 @@ class FleetConfig:
     deaths); it applies to epoch 0 only — a rebooted wafer starts with a
     clean fabric.  ``plans`` optionally pins a placement plan per wafer.
     ``failure_rate`` seeds an independent Bernoulli step-killer per
-    wafer and epoch, derived from the fleet ``seed``.
+    wafer and epoch, derived from the fleet ``seed``.  ``horizon``
+    selects the macro-stepped serving loop on every engine (the
+    default); ``False`` pins the per-event reference loop, which the
+    differential sweep uses as its bit-identity oracle.
     """
 
     n_wafers: int = 3
@@ -56,6 +59,7 @@ class FleetConfig:
     seed: int = 0
     plans: Optional[Sequence] = None
     wafer_fault_schedules: Optional[Sequence[Optional[FaultSchedule]]] = None
+    horizon: bool = True
 
     def __post_init__(self) -> None:
         if self.n_wafers < 1:
@@ -94,7 +98,10 @@ class WaferFleet:
         self.engines: List[Optional[ServeEngine]] = []
         for wafer in range(n):
             server = self._make_server(wafer, epoch=0)
-            self.engines.append(ServeEngine(server, start_s=0.0))
+            self.engines.append(
+                ServeEngine(server, start_s=0.0,
+                            horizon=self.config.horizon)
+            )
 
     @property
     def n_wafers(self) -> int:
@@ -154,7 +161,7 @@ class WaferFleet:
         """Boot a fresh epoch of wafer ``wafer`` at fleet time ``at_s``."""
         self.epochs[wafer] += 1
         server = self._make_server(wafer, epoch=self.epochs[wafer])
-        eng = ServeEngine(server, start_s=at_s)
+        eng = ServeEngine(server, start_s=at_s, horizon=self.config.horizon)
         self.engines[wafer] = eng
         self.up[wafer] = True
         return eng

@@ -28,8 +28,9 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.serving.metrics import ServingMetrics, percentile
+from repro.serving.metrics import ServingMetrics
 from repro.serving.request import Request
+from repro.serving.stats import percentile_sorted
 
 
 @dataclass
@@ -127,6 +128,23 @@ class FleetMetrics:
     hedges: int = 0
     hedge_wasted_tokens: int = 0
     down_windows: List[Tuple[float, float, int]] = field(default_factory=list)
+    # Sorted TTFT sample cache keyed on the outcome count, so growing
+    # the ledger invalidates stale entries through the key itself.
+    # Derived state: excluded from equality and repr.
+    _pct_cache: Dict[Tuple[str, int], List[float]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def _sorted_ttft(self) -> List[float]:
+        """Completed-session TTFTs, sorted once per ledger length."""
+        key = ("ttft", len(self.outcomes))
+        ordered = self._pct_cache.get(key)
+        if ordered is None:
+            ordered = sorted(
+                o.ttft_s for o in self.outcomes if o.completed
+            )
+            self._pct_cache[key] = ordered
+        return ordered
 
     # -- conservation ---------------------------------------------------
     @property
@@ -202,15 +220,11 @@ class FleetMetrics:
     # -- latency / goodput ----------------------------------------------
     @property
     def p50_ttft_s(self) -> float:
-        return percentile(
-            [o.ttft_s for o in self.completed_outcomes], 0.50
-        )
+        return percentile_sorted(self._sorted_ttft(), 0.50)
 
     @property
     def p99_ttft_s(self) -> float:
-        return percentile(
-            [o.ttft_s for o in self.completed_outcomes], 0.99
-        )
+        return percentile_sorted(self._sorted_ttft(), 0.99)
 
     @property
     def mean_latency_s(self) -> float:

@@ -160,7 +160,10 @@ class FleetRouter:
         # globally unique across the fleet so harvests map back exactly.
         self._inflight: Dict[int, Tuple[SessionOutcome, str]] = {}
         self._local_ids = itertools.count(1)
-        self._harvested: List[Set[int]] = [set() for _ in range(n)]
+        # Per-wafer high-water marks into the engine's completion log
+        # and rejected list: a harvest reads only the suffix, instead of
+        # re-scanning every stat the wafer ever produced.
+        self._completions_seen = [0] * n
         self._rejects_seen = [0] * n
         # Bookkeeping for the rollup.
         self.timeline: List[FleetTimelineEntry] = []
@@ -331,11 +334,15 @@ class FleetRouter:
         if eng is None:
             return
         cfg = self.config
-        seen = self._harvested[wafer]
-        for request_id, stats in eng.stats.items():
-            if request_id in seen or stats.finish_s <= 0:
-                continue
-            seen.add(request_id)
+        # Completions stream off the engine's append-only finish log in
+        # finish order — the order the docstring's "first copy to finish
+        # wins" rule wants — so a harvest is O(new completions), not
+        # O(everything this wafer ever served).
+        log = eng.completed_log
+        new_completions = log[self._completions_seen[wafer]:]
+        self._completions_seen[wafer] = len(log)
+        for request_id in new_completions:
+            stats = eng.stats[request_id]
             entry = self._inflight.pop(request_id, None)
             if entry is None:
                 continue
@@ -455,7 +462,7 @@ class FleetRouter:
                     kind="migration",
                 ),
             )
-        self._harvested[wafer] = set()
+        self._completions_seen[wafer] = 0
         self._rejects_seen[wafer] = 0
 
     def _continuation(

@@ -99,6 +99,21 @@ class FaultInjector:
             self.steps_killed += 1
         return failed
 
+    def note_steps(self, count: int) -> None:
+        """Record ``count`` attempts that cannot fail (rate is zero).
+
+        The horizon-batched serving path commits runs of steps without
+        per-step fate draws; that shortcut is only taken when
+        ``failure_rate <= 0``, where :meth:`step_fails` draws nothing
+        and just counts — this keeps the attempt ledger identical.
+        """
+        if self.failure_rate > 0.0:
+            raise ConfigurationError(
+                "note_steps is only valid when failure_rate is zero; "
+                "a nonzero rate must draw per-step fates"
+            )
+        self.steps_attempted += count
+
     def backoff_s(self, consecutive_failures: int) -> float:
         """Pause before the ``consecutive_failures``-th retry (1-based)."""
         if consecutive_failures < 1:

@@ -18,6 +18,7 @@ from repro.serving.chunked import (
     WaferServer,
     compare_modes,
 )
+from repro.serving.events import StepEventLog
 from repro.serving.health import FaultLogEntry, HealthMonitor
 from repro.serving.metrics import ServingMetrics, StepEvent, percentile
 from repro.serving.request import Request, RequestStats
@@ -30,6 +31,7 @@ __all__ = [
     "ServingReport",
     "ServingMetrics",
     "StepEvent",
+    "StepEventLog",
     "percentile",
     "ContinuousBatchingServer",
     "ServeEngine",

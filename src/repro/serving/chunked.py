@@ -70,6 +70,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.plmr import PLMRDevice
 from repro.errors import (
     ConfigurationError,
@@ -83,7 +85,9 @@ from repro.llm.wafer_system import MAX_RESIDENT_CHUNK_TOKENS, WaferLLMSystem
 from repro.mesh.faults import FaultEvent, FaultInjector, FaultSchedule
 from repro.placement.plan import decode_carve_for_grid
 from repro.placement.transition import reshard_cost
+from repro.serving import stepcost
 from repro.serving.admission import SLOAdmission, backlog_tokens
+from repro.serving.events import StepEventLog
 from repro.serving.health import HealthMonitor
 from repro.serving.metrics import ServingMetrics, StepEvent
 from repro.serving.request import Request, RequestStats
@@ -233,14 +237,12 @@ class WaferServer:
         self.spare_regions = spare_regions
         self.fail_on_exhausted_spares = fail_on_exhausted_spares
         self.health = health
-        chunk_cost = self.system.chunked_prefill_cost(
-            model, chunk_tokens, self.grid
-        )
         optimistic = self.device.cycles_to_seconds(
-            chunk_cost.compute_cycles
+            stepcost.chunk_compute_cycles(
+                self.system, model, chunk_tokens, self.grid
+            )
         ) / chunk_tokens
         self.admission = SLOAdmission(self.kv_capacity_tokens, optimistic)
-        self._step_cache: Dict[Tuple[int, int, int], float] = {}
 
     # ------------------------------------------------------------------
     def kv_bounded_batch(self, context_len: int = 4096) -> int:
@@ -256,45 +258,27 @@ class WaferServer:
     def fused_step_seconds(
         self, batch: int, mean_context: int, chunk: int
     ) -> float:
-        """One step's wall-clock time, memoized on bucketed context."""
+        """One step's wall-clock time, memoized on bucketed context.
+
+        Delegates to the process-wide shape-keyed cache
+        (:mod:`repro.serving.stepcost`): the cost is a pure function of
+        ``(model, device, grid, batch, bucket, chunk)``, so every server
+        and fleet epoch with the same shapes shares one entry.
+        """
         bucket = max(
             1,
             math.ceil(max(1, mean_context) / CONTEXT_BUCKET_TOKENS)
             * CONTEXT_BUCKET_TOKENS,
         )
-        key = (batch, bucket, chunk)
-        cached = self._step_cache.get(key)
-        if cached is None:
-            cached = self.system.fused_step_cost(
-                self.model, bucket, batch, chunk, self.grid
-            ).seconds
-            self._step_cache[key] = cached
-        return cached
+        return stepcost.fused_step_seconds(
+            self.system, self.model, bucket, batch, chunk, self.grid
+        )
 
     def exclusive_prefill_seconds(self, seq_in: int) -> float:
         """Whole-prompt prefill block on this region (prefill mode)."""
-        return self.system.prefill_cost(self.model, seq_in, self.grid).seconds
-
-    # ------------------------------------------------------------------
-    def _select_key(self, now_s: float):
-        def key(job: _Job):
-            return (
-                job.over_budget(now_s),
-                -job.request.priority,
-                job.request.ttft_deadline_s,
-                job.request.arrival_s,
-                job.request.request_id,
-            )
-        return key
-
-    def _pick_prefill(
-        self, waiting: List[_Job], ledger: KVTokenLedger, now_s: float
-    ) -> Optional[_Job]:
-        """Best startable waiting job: KV already held or reservable."""
-        for job in sorted(waiting, key=self._select_key(now_s)):
-            if job.kv_held or ledger.can_reserve(job.request.kv_tokens):
-                return job
-        return None
+        return stepcost.exclusive_prefill_seconds(
+            self.system, self.model, seq_in, self.grid
+        )
 
     # ------------------------------------------------------------------
     def serve(self, requests: List[Request]) -> ServingMetrics:
@@ -304,6 +288,95 @@ class WaferServer:
         if len({r.request_id for r in requests}) != len(requests):
             raise ConfigurationError("request ids must be unique")
         return ServeEngine(self, requests).run()
+
+
+def plan_decode_horizon(
+    now_s: float,
+    step_s: float,
+    max_steps: int,
+    until_s: float,
+    next_arrival_s: float,
+    next_fault_s: float,
+) -> Tuple[int, np.ndarray]:
+    """How many equal-duration decode steps commit before any boundary.
+
+    Returns ``(k, times)`` where ``times[j]`` is the clock after ``j``
+    steps.  The prefix sums come from ``np.add.accumulate``, which adds
+    strictly left-to-right — the same IEEE-754 operation sequence as the
+    per-step ``now += step_s`` loop, so every boundary is bit-identical
+    to reference stepping (never ``now + j * step_s``, whose rounding
+    differs).
+
+    Boundary semantics mirror the reference loop exactly:
+
+    * step ``j`` runs only while its *start* is strictly before
+      ``until_s`` (``advance_to`` steps while ``now < t_s``) and before
+      ``next_arrival_s`` (arrivals at or before a step's start are
+      admitted by that step, changing the schedule);
+    * step ``j`` must *end* strictly before ``next_fault_s`` — the
+      schedule strikes any step whose window reaches the event
+      (``pop_until`` consumes ``at_s <= end``).
+
+    ``max_steps`` caps the horizon at the nearest completion and
+    context-bucket crossing, which the caller computes from the live-job
+    table.
+    """
+    arr = np.empty(max_steps + 1, dtype=np.float64)
+    arr[0] = now_s
+    arr[1:] = step_s
+    times = np.add.accumulate(arr)
+    k = min(
+        max_steps,
+        int(np.searchsorted(
+            times[:-1], min(until_s, next_arrival_s), side="left"
+        )),
+        int(np.searchsorted(times[1:], next_fault_s, side="left")),
+    )
+    return k, times
+
+
+class _LiveJobTable:
+    """Structure-of-arrays view of the decode batch for horizon runs.
+
+    Built lazily from ``ServeEngine.decoding`` (insertion order — the
+    order the reference loop iterates and finishes jobs in) and kept
+    alive across consecutive fast runs; any slow step, drain, or
+    completion invalidates it.  ``context_sum`` is maintained as an
+    exact Python int so the mean-context expression matches the
+    reference loop digit for digit.
+    """
+
+    __slots__ = ("jobs", "remaining", "needs_first", "context_sum")
+
+    def __init__(self, decoding: Dict[int, "_Job"]):
+        self.jobs: List[_Job] = list(decoding.values())
+        self.remaining = np.array(
+            [j.request.seq_out - j.generated for j in self.jobs],
+            dtype=np.int64,
+        )
+        self.needs_first = np.array(
+            [j.generated == 0 for j in self.jobs], dtype=bool
+        )
+        self.context_sum: int = sum(j.context for j in self.jobs)
+
+    @property
+    def batch(self) -> int:
+        return len(self.jobs)
+
+    def min_remaining(self) -> int:
+        return int(self.remaining.min())
+
+    def commit(self, k: int, first_token_s: float) -> List["_Job"]:
+        """Advance every job ``k`` tokens; returns finishers in order."""
+        finished_idx = np.nonzero(self.remaining == k)[0]
+        self.remaining -= k
+        for i in np.nonzero(self.needs_first)[0]:
+            self.jobs[int(i)].stats.first_token_s = first_token_s
+        self.needs_first[:] = False
+        self.context_sum += len(self.jobs) * k
+        for job in self.jobs:
+            job.generated += k
+        return [self.jobs[int(i)] for i in finished_idx]
 
 
 class ServeEngine:
@@ -329,6 +402,17 @@ class ServeEngine:
     ``WaferServer.serve`` is ``ServeEngine(server, requests).run()`` —
     the stepping form is the single implementation, and single-wafer
     results are bit-identical to the historical closed loop.
+
+    With ``horizon=True`` (the default) the engine *macro-steps* pure
+    decode: when nothing is queued and no arrival or scheduled fault
+    falls inside the next ``k`` steps, all ``k`` commit in one
+    vectorized update of a structure-of-arrays live-job table
+    (:class:`_LiveJobTable` + :func:`plan_decode_horizon`).  The fast
+    path is bit-identical to per-step execution — same clocks, events,
+    stats, and fault-injector ledger — which the differential sweep in
+    ``tests/test_horizon_equivalence.py`` and the determinism replay
+    audit both enforce.  ``horizon=False`` keeps the reference
+    one-event-at-a-time loop for those oracles.
     """
 
     def __init__(
@@ -336,19 +420,25 @@ class ServeEngine:
         server: WaferServer,
         requests: Iterable[Request] = (),
         start_s: float = 0.0,
+        horizon: bool = True,
     ):
         self.server = server
         self.now = start_s
+        self.horizon = horizon
         self.stats: Dict[int, RequestStats] = {}
         self._pending: List[Tuple[float, int, Request]] = []
         self._submitted: List[Request] = []
         self.waiting: List[_Job] = []
+        self._waiting_sorted: List[_Job] = []
+        self._waiting_keys: List[Tuple] = []
         self.current: Optional[_Job] = None
         self.decode_ready: Deque[_Job] = deque()
         self.decoding: Dict[int, _Job] = {}
+        self._job_table: Optional[_LiveJobTable] = None
         self.ledger = KVTokenLedger(server.kv_capacity_tokens)
         self.rejected: List[Request] = []
-        self.events: List[StepEvent] = []
+        self.events = StepEventLog()
+        self.completed_log: List[int] = []
         self.total_tokens = 0
         self.peak_batch = 0
         self.peak_kv = 0
@@ -450,11 +540,55 @@ class ServeEngine:
             if decision.admitted and (
                 request.kv_tokens <= self.ledger.capacity_tokens
             ):
-                self.waiting.append(
-                    _Job(request, self.stats[request.request_id])
-                )
+                job = _Job(request, self.stats[request.request_id])
+                self.waiting.append(job)
+                self._waiting_add(job)
             else:
                 self.rejected.append(request)
+
+    # -- incremental waiting-queue index --------------------------------
+    # ``self.waiting`` keeps admission order (drain() snapshots and shed
+    # iteration depend on it); ``_waiting_sorted`` is a parallel index
+    # ordered by the *time-independent* tail of the selection key.  The
+    # full per-step key ``(over_budget(now), -priority, deadline,
+    # arrival, id)`` is this static order partitioned into the on-time
+    # block followed by the over-budget block (the static key ends in
+    # the unique request id, so the order within each block never
+    # changes) — which lets ``_pick_prefill`` scan the index once
+    # instead of re-sorting the queue every step.
+    @staticmethod
+    def _static_key(job: _Job) -> Tuple:
+        r = job.request
+        return (-r.priority, r.ttft_deadline_s, r.arrival_s, r.request_id)
+
+    def _waiting_add(self, job: _Job) -> None:
+        key = self._static_key(job)
+        i = bisect.bisect_left(self._waiting_keys, key)
+        self._waiting_keys.insert(i, key)
+        self._waiting_sorted.insert(i, job)
+
+    def _waiting_discard(self, job: _Job) -> None:
+        key = self._static_key(job)
+        i = bisect.bisect_left(self._waiting_keys, key)
+        self._waiting_keys.pop(i)
+        self._waiting_sorted.pop(i)
+
+    def _pick_prefill(self, now_s: float) -> Optional[_Job]:
+        """Best startable waiting job: KV already held or reservable.
+
+        Equivalent to sorting by the full time-dependent key and taking
+        the first startable job: the first startable *on-time* job in
+        static order wins; failing that, the first startable over-budget
+        job (the demoted block) is the fallback.
+        """
+        fallback: Optional[_Job] = None
+        for job in self._waiting_sorted:
+            if job.kv_held or self.ledger.can_reserve(job.request.kv_tokens):
+                if not job.over_budget(now_s):
+                    return job
+                if fallback is None:
+                    fallback = job
+        return fallback
 
     def _kv_recompute_seconds(self) -> float:
         """Recompute-from-prompt cost of every live stream's KV.
@@ -492,9 +626,17 @@ class ServeEngine:
         self.peak_queue = max(self.peak_queue, self.events[-1].queue_depth)
 
     # -- stepping -------------------------------------------------------
-    def step(self) -> None:
-        """Execute one scheduler iteration (or jump an idle clock)."""
-        server = self.server
+    def step(self, until_s: float = math.inf) -> None:
+        """Execute one scheduler iteration (or jump an idle clock).
+
+        With the horizon fast path armed (``horizon=True``), one call
+        may commit a whole run of pure-decode steps when no arrival,
+        fault, completion, or context-bucket crossing falls inside it;
+        the committed state is bit-identical to stepping one at a time.
+        ``until_s`` bounds where the fast path may *start* steps —
+        :meth:`advance_to` passes its target so a sliced clock observes
+        exactly the boundaries the reference loop would.
+        """
         self._admit_arrivals()
         if not (
             self.waiting or self.current
@@ -504,6 +646,91 @@ class ServeEngine:
                 return
             self.now = max(self.now, self._pending[0][0])
             return
+        if self.horizon and self._fast_decode_run(until_s):
+            return
+        self._step_slow()
+
+    def _fast_decode_run(self, until_s: float) -> bool:
+        """Commit a horizon of pure decode steps analytically.
+
+        Armed only when the step composition is decode-and-nothing-else
+        (no prefill slot, no queued joins) and the Bernoulli killer is
+        off — every per-step decision the reference loop would make is
+        then a pure function of the shared step duration, so the whole
+        run collapses to one table update.  Returns False (committing
+        nothing) when fewer than two steps fit, leaving the reference
+        path as the single implementation of every boundary case.
+        """
+        server = self.server
+        if (
+            self.waiting or self.current or self.decode_ready
+            or not self.decoding or server.faults.failure_rate > 0.0
+        ):
+            return False
+        table = self._job_table
+        if table is None:
+            table = _LiveJobTable(self.decoding)
+            self._job_table = table
+        batch = table.batch
+        # Same expression as the reference step: exact int sum, float
+        # divide, truncate.  Constant across the run up to the +1/step
+        # drift accounted for by the bucket bound below.
+        mean_context = max(1, int(table.context_sum / batch))
+        bucket_end = (
+            math.ceil(max(1, mean_context) / CONTEXT_BUCKET_TOKENS)
+            * CONTEXT_BUCKET_TOKENS
+        )
+        # Mean context after j steps is mean_context + j exactly (the
+        # sum grows by batch per step), so the memoized cost stays valid
+        # until the bucket ceiling and no job finishes before the
+        # min-remaining step.
+        max_steps = min(table.min_remaining(), bucket_end - mean_context + 1)
+        if max_steps < 2:
+            return False
+        step_s = server.fused_step_seconds(batch, mean_context, 0)
+        next_arrival = self._pending[0][0] if self._pending else math.inf
+        next_fault = math.inf
+        if self.schedule is not None:
+            event = self.schedule.peek()
+            if event is not None:
+                next_fault = event.at_s
+        k, times = plan_decode_horizon(
+            self.now, step_s, max_steps, until_s, next_arrival, next_fault
+        )
+        if k < 2:
+            return False
+
+        # Commit: identical end state to k reference iterations.
+        server.faults.note_steps(k)
+        self.consecutive_failures = 0
+        self.health.observe_steps(times[:k], step_s, kind="decode")
+        self.total_tokens += batch * k
+        self.peak_batch = max(self.peak_batch, batch)
+        kv_before = self.ledger.reserved_tokens
+        end_s = float(times[k])
+        finished = table.commit(k, first_token_s=float(times[1]))
+        self.now = end_s
+        for job in finished:
+            request_id = job.request.request_id
+            self.decoding.pop(request_id)
+            job.stats.finish_s = end_s
+            self.ledger.release(request_id)
+            self.completed_log.append(request_id)
+        if finished:
+            self._job_table = None
+        self.events.extend_decode_run(
+            starts=times[:k].tolist(),
+            ends=times[1:k + 1].tolist(),
+            batch=batch,
+            kv_tokens=kv_before,
+            kv_tokens_last=self.ledger.reserved_tokens,
+        )
+        return True
+
+    def _step_slow(self) -> None:
+        """Reference scheduler iteration: one step, every boundary."""
+        server = self.server
+        self._job_table = None
 
         # Prefilled streams join the batch while it has room.
         while self.decode_ready and len(self.decoding) < self.max_batch:
@@ -513,18 +740,15 @@ class ServeEngine:
 
         # Prefill slot: claim, or preempt at a chunk boundary.
         if self.current is None and self.waiting:
-            self.current = server._pick_prefill(
-                self.waiting, self.ledger, self.now
-            )
+            self.current = self._pick_prefill(self.now)
             if self.current is not None:
                 self.waiting.remove(self.current)
+                self._waiting_discard(self.current)
         elif (
             server.mode == "chunked"
             and self.current is not None and self.waiting
         ):
-            challenger = server._pick_prefill(
-                self.waiting, self.ledger, self.now
-            )
+            challenger = self._pick_prefill(self.now)
             if challenger is not None and (
                 challenger.request.priority > self.current.request.priority
                 or (
@@ -533,10 +757,12 @@ class ServeEngine:
                 )
             ):
                 self.waiting.append(self.current)
+                self._waiting_add(self.current)
                 self.current.stats.preemptions += 1
                 self.preemptions += 1
                 self.current = challenger
                 self.waiting.remove(challenger)
+                self._waiting_discard(challenger)
         if self.current is not None and not self.current.kv_held:
             self.ledger.reserve(
                 self.current.request.request_id,
@@ -660,6 +886,7 @@ class ServeEngine:
                 ]
                 for job in shed:
                     self.waiting.remove(job)
+                    self._waiting_discard(job)
                     self.rejected.append(job.request)
             for event in deaths:
                 self.health.record_fault(
@@ -712,6 +939,7 @@ class ServeEngine:
                 job = self.decoding.pop(request_id)
                 job.stats.finish_s = self.now
                 self.ledger.release(request_id)
+                self.completed_log.append(request_id)
 
         # Commit prefill progress.
         if self.current is not None and chunk:
@@ -747,7 +975,7 @@ class ServeEngine:
             ):
                 if self._pending[0][0] > t_s:
                     break
-            self.step()
+            self.step(until_s=t_s)
 
     def run(self) -> ServingMetrics:
         """Run every step to completion and close the books."""
@@ -795,9 +1023,12 @@ class ServeEngine:
         for snap in snapshots:
             self.rejected.append(snap.request)
         self.decoding.clear()
+        self._job_table = None
         self.decode_ready.clear()
         self.current = None
         self.waiting.clear()
+        self._waiting_sorted.clear()
+        self._waiting_keys.clear()
         self._pending.clear()
         self.drained = True
         return snapshots

@@ -1,0 +1,173 @@
+"""Structure-of-arrays step-event log with streaming accumulators.
+
+The serving engines used to append one frozen :class:`StepEvent` per
+scheduler tick to a plain Python list, and the metric rollups re-walked
+that list per property access (``mean_queue_depth`` summed
+``queue_depth * duration`` over every event, ``decode_stall_s`` filtered
+it again).  At fleet scale the event log dominates both memory and the
+rollup cost.
+
+:class:`StepEventLog` keeps the same information as parallel columns of
+Python scalars and maintains the two time-integrals the rollups need —
+queue area and decode-stall seconds — *as events are appended*, in
+append order, so the running totals are bit-identical to the sums the
+list-walking properties computed (float addition in the same order).
+Horizon-batched decode runs land through :meth:`extend_decode_run`,
+which bulk-extends the columns from vectorized timestamps; such steps
+have zero queue depth and a non-stall kind by construction, so the
+accumulators are untouched (adding ``0.0`` is exact).
+
+The sequence API (`len`/iteration/indexing/slicing/equality) is kept
+compatible with the old ``List[StepEvent]`` so existing tests and
+downstream consumers observe no difference: indexing materializes a
+:class:`StepEvent`, slices return lists of them, and a log compares
+equal to any sequence with the same events in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Union, overload
+
+from repro.serving.metrics import StepEvent
+
+# Step kinds during which live decode streams stall (produce no tokens
+# while holding KV): exclusive prefill blocks, fault retries, and the
+# remap/degrade windows of a persistent core death.
+STALL_KINDS = frozenset({"prefill", "retry", "remap", "degrade"})
+
+
+class StepEventLog:
+    """Columnar step-event log with running metric accumulators."""
+
+    __slots__ = (
+        "start_s",
+        "end_s",
+        "kind",
+        "decode_batch",
+        "chunk_tokens",
+        "kv_tokens",
+        "queue_depth",
+        "queue_area_s",
+        "decode_stall_s",
+    )
+
+    def __init__(self) -> None:
+        self.start_s: List[float] = []
+        self.end_s: List[float] = []
+        self.kind: List[str] = []
+        self.decode_batch: List[int] = []
+        self.chunk_tokens: List[int] = []
+        self.kv_tokens: List[int] = []
+        self.queue_depth: List[int] = []
+        # Streaming integrals, maintained in append order so they match
+        # the equivalent post-hoc sums bit for bit.
+        self.queue_area_s: float = 0.0
+        self.decode_stall_s: float = 0.0
+
+    # -- construction ---------------------------------------------------
+    def append(self, event: StepEvent) -> None:
+        """Record one step and fold it into the running integrals."""
+        self.start_s.append(event.start_s)
+        self.end_s.append(event.end_s)
+        self.kind.append(event.kind)
+        self.decode_batch.append(event.decode_batch)
+        self.chunk_tokens.append(event.chunk_tokens)
+        self.kv_tokens.append(event.kv_tokens)
+        self.queue_depth.append(event.queue_depth)
+        if event.queue_depth:
+            self.queue_area_s += event.queue_depth * event.duration_s
+        if event.decode_batch > 0 and event.kind in STALL_KINDS:
+            self.decode_stall_s += event.duration_s
+
+    def extend_decode_run(
+        self,
+        starts: Sequence[float],
+        ends: Sequence[float],
+        batch: int,
+        kv_tokens: int,
+        kv_tokens_last: int,
+    ) -> None:
+        """Bulk-append ``len(starts)`` pure-decode steps.
+
+        A horizon run only exists when nothing is queued, so every step
+        records zero queue depth and zero chunk tokens; the final step's
+        ``kv_tokens`` reflects reservations released by completions at
+        the end of the run (``kv_tokens_last``), matching what per-step
+        execution would have reported.  Neither accumulator moves: the
+        queue contribution is ``0 * dt`` and ``"decode"`` never stalls.
+        """
+        n = len(starts)
+        if n == 0:
+            return
+        self.start_s.extend(starts)
+        self.end_s.extend(ends)
+        self.kind.extend(["decode"] * n)
+        self.decode_batch.extend([batch] * n)
+        self.chunk_tokens.extend([0] * n)
+        if n > 1:
+            self.kv_tokens.extend([kv_tokens] * (n - 1))
+        self.kv_tokens.append(kv_tokens_last)
+        self.queue_depth.extend([0] * n)
+
+    # -- sequence API (List[StepEvent]-compatible) ----------------------
+    def _event(self, i: int) -> StepEvent:
+        return StepEvent(
+            start_s=self.start_s[i],
+            end_s=self.end_s[i],
+            kind=self.kind[i],
+            decode_batch=self.decode_batch[i],
+            chunk_tokens=self.chunk_tokens[i],
+            kv_tokens=self.kv_tokens[i],
+            queue_depth=self.queue_depth[i],
+        )
+
+    def __len__(self) -> int:
+        return len(self.start_s)
+
+    def __bool__(self) -> bool:
+        return bool(self.start_s)
+
+    def __iter__(self) -> Iterator[StepEvent]:
+        for i in range(len(self.start_s)):
+            yield self._event(i)
+
+    @overload
+    def __getitem__(self, index: int) -> StepEvent: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[StepEvent]: ...
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[StepEvent, List[StepEvent]]:
+        if isinstance(index, slice):
+            return [
+                self._event(i)
+                for i in range(*index.indices(len(self.start_s)))
+            ]
+        n = len(self.start_s)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("step event index out of range")
+        return self._event(index)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, StepEventLog):
+            return (
+                self.start_s == other.start_s
+                and self.end_s == other.end_s
+                and self.kind == other.kind
+                and self.decode_batch == other.decode_batch
+                and self.chunk_tokens == other.chunk_tokens
+                and self.kv_tokens == other.kv_tokens
+                and self.queue_depth == other.queue_depth
+            )
+        if isinstance(other, Sequence):
+            return len(other) == len(self) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"StepEventLog(n={len(self)})"

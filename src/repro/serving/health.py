@@ -145,6 +145,50 @@ class HealthMonitor:
             baseline.append(duration_s)
         return tripped
 
+    def observe_steps(
+        self, starts, duration_s: float, kind: str = "step"
+    ) -> int:
+        """Feed a run of equal-duration steps; returns watchdog trips.
+
+        State-identical to calling :meth:`observe_step` once per start
+        time with the same ``duration_s``, but with one median
+        computation for the whole run.  The shortcut is sound because
+        the duration is constant across the run:
+
+        * while unarmed, steps never trip and only fill the baseline;
+        * if the first armed step passes (``d <= factor * median``),
+          appending copies of ``d`` can only pull the median toward
+          ``d``, keeping ``factor * median >= min(factor * median0,
+          factor * d) >= d`` — so no later step in the run trips either;
+        * if the first armed step trips, tripped steps stay out of the
+          baseline, so every remaining step sees the *same* baseline and
+          threshold and trips identically (one log entry per step, at
+          that step's start time).
+        """
+        baseline = self._durations.setdefault(kind, [])
+        n = len(starts)
+        i = 0
+        while i < n and len(baseline) < self.min_samples:
+            baseline.append(duration_s)
+            i += 1
+        if i == n:
+            return 0
+        threshold = self.watchdog_factor * statistics.median(baseline)
+        if duration_s > threshold:
+            detail = (
+                f"{kind} step took {duration_s:.3e}s against a "
+                f"{threshold:.3e}s watchdog threshold"
+            )
+            for j in range(i, n):
+                self.watchdog_trips += 1
+                self._append(FaultLogEntry(
+                    at_s=float(starts[j]), kind="watchdog",
+                    action="watchdog", detail=detail,
+                ))
+            return n - i
+        baseline.extend([duration_s] * (n - i))
+        return 0
+
     def record_fault(
         self,
         at_s: float,

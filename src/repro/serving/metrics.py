@@ -18,21 +18,14 @@ event log) for the invariant tests to re-derive every headline number:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Tuple
 
 from repro.serving.health import FaultLogEntry
 from repro.serving.request import Request, RequestStats
+from repro.serving.stats import percentile, percentile_sorted
 
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 1]) of a non-empty sequence."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
-    return ordered[idx]
+__all__ = ["StepEvent", "ServingMetrics", "percentile"]
 
 
 @dataclass(frozen=True)
@@ -83,6 +76,31 @@ class ServingMetrics:
     degradations: int = 0
     downtime_s: float = 0.0
     fault_log: List[FaultLogEntry] = field(default_factory=list)
+    # Sorted-sample cache behind the percentile properties: keyed on the
+    # sample family *and* the completed-list length, so appending more
+    # completions naturally invalidates stale entries (the length is
+    # part of the key the lookup consumes).  Excluded from equality and
+    # repr — it is derived state, not part of the record.
+    _pct_cache: Dict[Tuple[str, int], List[float]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def _sorted_samples(self, name: str) -> List[float]:
+        """Sorted sample vector for ``name``, computed once per length."""
+        key = (name, len(self.completed))
+        ordered = self._pct_cache.get(key)
+        if ordered is None:
+            if name == "latency":
+                values = [s.latency_s for s in self.completed]
+            elif name == "ttft":
+                values = [s.ttft_s for s in self.completed]
+            else:  # tpot: only requests with a second token have a span
+                values = [
+                    s.tpot_s for s in self.completed if s.request.seq_out > 1
+                ]
+            ordered = sorted(values)
+            self._pct_cache[key] = ordered
+        return ordered
 
     # -- conservation ---------------------------------------------------
     @property
@@ -111,17 +129,17 @@ class ServingMetrics:
     @property
     def p99_latency_s(self) -> float:
         """99th-percentile request latency."""
-        return percentile([s.latency_s for s in self.completed], 0.99)
+        return percentile_sorted(self._sorted_samples("latency"), 0.99)
 
     @property
     def p50_ttft_s(self) -> float:
         """Median time-to-first-token."""
-        return percentile([s.ttft_s for s in self.completed], 0.50)
+        return percentile_sorted(self._sorted_samples("ttft"), 0.50)
 
     @property
     def p99_ttft_s(self) -> float:
         """99th-percentile time-to-first-token."""
-        return percentile([s.ttft_s for s in self.completed], 0.99)
+        return percentile_sorted(self._sorted_samples("ttft"), 0.99)
 
     @property
     def mean_tpot_s(self) -> float:
@@ -132,8 +150,7 @@ class ServingMetrics:
     @property
     def p99_tpot_s(self) -> float:
         """99th-percentile inter-token interval."""
-        spans = [s.tpot_s for s in self.completed if s.request.seq_out > 1]
-        return percentile(spans, 0.99)
+        return percentile_sorted(self._sorted_samples("tpot"), 0.99)
 
     # -- throughput / goodput -------------------------------------------
     @property
@@ -194,11 +211,19 @@ class ServingMetrics:
 
     @property
     def mean_queue_depth(self) -> float:
-        """Time-weighted mean queue depth over the run."""
+        """Time-weighted mean queue depth over the run.
+
+        A :class:`~repro.serving.events.StepEventLog` carries the queue
+        area as a streaming accumulator (summed in append order, so it
+        equals the post-hoc sum bit for bit); a plain event list is
+        walked once as before.
+        """
         if not self.events or self.makespan_s <= 0:
             return 0.0
-        weighted = sum(e.queue_depth * e.duration_s for e in self.events)
-        return weighted / self.makespan_s
+        area = getattr(self.events, "queue_area_s", None)
+        if area is None:
+            area = sum(e.queue_depth * e.duration_s for e in self.events)
+        return area / self.makespan_s
 
     @property
     def decode_stall_s(self) -> float:
@@ -206,8 +231,13 @@ class ServingMetrics:
 
         A step stalls decode when streams are live but produce nothing:
         exclusive prefill blocks and fault retries.  This is the quantity
-        chunked prefill exists to eliminate.
+        chunked prefill exists to eliminate.  Like
+        :attr:`mean_queue_depth`, the total streams out of the event log
+        when one is attached.
         """
+        stalled = getattr(self.events, "decode_stall_s", None)
+        if stalled is not None:
+            return stalled
         return sum(
             e.duration_s for e in self.events
             if e.decode_batch > 0

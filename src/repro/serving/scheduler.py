@@ -21,7 +21,6 @@ live batch: each stream owns a slice of every row's cache budget.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -31,6 +30,7 @@ from repro.llm.config import ModelConfig
 from repro.llm.kvcache import region_token_capacity
 from repro.llm.wafer_system import WaferLLMSystem
 from repro.serving.request import Request, RequestStats
+from repro.serving.stats import percentile
 
 
 @dataclass
@@ -55,9 +55,7 @@ class ServingReport:
     @property
     def p99_latency_s(self) -> float:
         """99th-percentile request latency."""
-        ordered = sorted(s.latency_s for s in self.completed)
-        idx = min(len(ordered) - 1, math.ceil(0.99 * len(ordered)) - 1)
-        return ordered[max(idx, 0)]
+        return percentile([s.latency_s for s in self.completed], 0.99)
 
 
 class ContinuousBatchingServer:

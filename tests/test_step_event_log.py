@@ -1,0 +1,110 @@
+"""Tests for the columnar step-event log (repro.serving.events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.events import STALL_KINDS, StepEventLog
+from repro.serving.metrics import StepEvent
+
+
+def _event(i, kind="decode", batch=2, queue=0):
+    return StepEvent(
+        start_s=0.01 * i, end_s=0.01 * (i + 1), kind=kind,
+        decode_batch=batch, chunk_tokens=64 if kind == "fused" else 0,
+        kv_tokens=100 + i, queue_depth=queue,
+    )
+
+
+def _filled(n=5):
+    log = StepEventLog()
+    for i in range(n):
+        log.append(_event(i))
+    return log
+
+
+class TestSequenceApi:
+    def test_len_bool_iter(self):
+        log = StepEventLog()
+        assert len(log) == 0 and not log
+        log = _filled(3)
+        assert len(log) == 3 and log
+        assert [e.kv_tokens for e in log] == [100, 101, 102]
+
+    def test_indexing_roundtrips_events(self):
+        log = _filled(4)
+        assert log[0] == _event(0)
+        assert log[-1] == _event(3)
+        with pytest.raises(IndexError):
+            log[4]
+        with pytest.raises(IndexError):
+            log[-5]
+
+    def test_slicing_returns_event_lists(self):
+        log = _filled(5)
+        assert log[1:3] == [_event(1), _event(2)]
+        assert log[::2] == [_event(0), _event(2), _event(4)]
+        assert log[5:] == []
+
+    def test_equality_with_logs_and_sequences(self):
+        log = _filled(3)
+        assert log == _filled(3)
+        assert log != _filled(4)
+        assert log == [_event(0), _event(1), _event(2)]
+        assert log != [_event(0), _event(1)]
+        assert log != object()
+
+
+class TestAccumulators:
+    def test_streaming_integrals_match_posthoc_sums(self):
+        log = StepEventLog()
+        events = [
+            _event(0, kind="fused", batch=3, queue=2),
+            _event(1, kind="prefill", batch=2, queue=1),
+            _event(2, kind="decode", batch=4, queue=0),
+            _event(3, kind="retry", batch=2, queue=3),
+            _event(4, kind="remap", batch=1, queue=0),
+            _event(5, kind="prefill", batch=0, queue=2),  # no live streams
+        ]
+        for e in events:
+            log.append(e)
+        queue_area = sum(e.queue_depth * e.duration_s for e in events)
+        stall = sum(e.duration_s for e in events
+                    if e.decode_batch > 0 and e.kind in STALL_KINDS)
+        assert log.queue_area_s == queue_area
+        assert log.decode_stall_s == stall
+        assert stall > 0
+
+    def test_stall_kinds_cover_the_blocking_steps(self):
+        assert STALL_KINDS == {"prefill", "retry", "remap", "degrade"}
+
+
+class TestExtendDecodeRun:
+    def test_bulk_extend_equals_per_event_appends(self):
+        starts = [0.0, 0.1, 0.2]
+        ends = [0.1, 0.2, 0.3]
+        bulk = StepEventLog()
+        bulk.extend_decode_run(starts, ends, batch=3, kv_tokens=500,
+                               kv_tokens_last=420)
+        loop = StepEventLog()
+        for i, (s, e) in enumerate(zip(starts, ends)):
+            loop.append(StepEvent(
+                start_s=s, end_s=e, kind="decode", decode_batch=3,
+                chunk_tokens=0,
+                kv_tokens=420 if i == len(starts) - 1 else 500,
+                queue_depth=0,
+            ))
+        assert bulk == loop
+        assert bulk.queue_area_s == 0.0
+        assert bulk.decode_stall_s == 0.0
+
+    def test_single_step_run_reports_released_kv(self):
+        log = StepEventLog()
+        log.extend_decode_run([0.0], [0.1], batch=1, kv_tokens=300,
+                              kv_tokens_last=0)
+        assert log[0].kv_tokens == 0
+
+    def test_empty_run_is_a_no_op(self):
+        log = _filled(2)
+        log.extend_decode_run([], [], batch=1, kv_tokens=10, kv_tokens_last=0)
+        assert log == _filled(2)

@@ -1,0 +1,110 @@
+"""Tests for the shape-keyed step-cost cache (repro.serving.stepcost)."""
+
+from __future__ import annotations
+
+from repro.core import WSE2
+from repro.core.device_presets import get_device
+from repro.errors import ConfigurationError
+from repro.llm.config import get_model
+from repro.mesh.faults import FaultInjector
+from repro.serving import stepcost
+from repro.serving.chunked import WaferServer
+
+import pytest
+
+DEVICE = get_device("ipu-like-crossbar")
+MODEL = get_model("tiny-gqa")
+
+
+def _server(**kwargs):
+    return WaferServer(MODEL, DEVICE, mode="chunked", chunk_tokens=64,
+                       default_context_len=512, **kwargs)
+
+
+class TestMemoization:
+    def test_memoized_value_matches_direct_cost(self):
+        server = _server()
+        direct = server.system.fused_step_cost(
+            MODEL, 128, 4, 0, server.grid).seconds
+        assert stepcost.fused_step_seconds(
+            server.system, MODEL, 128, 4, 0, server.grid) == direct
+        # Second lookup is a hit and returns the identical value.
+        before = stepcost.cache_info()["hits"]
+        assert stepcost.fused_step_seconds(
+            server.system, MODEL, 128, 4, 0, server.grid) == direct
+        assert stepcost.cache_info()["hits"] == before + 1
+
+    def test_prefill_memoized_value_matches_direct_cost(self):
+        server = _server()
+        direct = server.system.prefill_cost(MODEL, 200, server.grid).seconds
+        assert stepcost.exclusive_prefill_seconds(
+            server.system, MODEL, 200, server.grid) == direct
+
+    def test_servers_with_same_shapes_share_entries(self):
+        first = _server()
+        first.fused_step_seconds(4, 100, 0)
+        size_after_first = stepcost.cache_info()["size"]
+        # A second server (e.g. another fleet epoch) prices the same
+        # shape without growing the cache.
+        second = _server()
+        second.fused_step_seconds(4, 100, 0)
+        assert stepcost.cache_info()["size"] == size_after_first
+
+    def test_context_bucketing_shares_entries(self):
+        stepcost.invalidate()  # isolate from shapes cached by other tests
+        server = _server()
+        server.fused_step_seconds(2, 10, 0)
+        size = stepcost.cache_info()["size"]
+        # 10 and 100 land in the same 128-token context bucket.
+        server.fused_step_seconds(2, 100, 0)
+        assert stepcost.cache_info()["size"] == size
+        # 200 crosses into the next bucket: a new entry.
+        server.fused_step_seconds(2, 200, 0)
+        assert stepcost.cache_info()["size"] == size + 1
+
+
+class TestInvalidation:
+    def test_invalidate_bumps_version_and_clears(self):
+        server = _server()
+        server.fused_step_seconds(4, 100, 0)
+        info = stepcost.cache_info()
+        assert info["size"] > 0
+        new_version = stepcost.invalidate()
+        assert new_version == info["version"] + 1
+        after = stepcost.cache_info()
+        assert after["size"] == 0
+        assert after["version"] == new_version
+
+    def test_version_is_part_of_the_key(self):
+        # The counter leads every key, so entries cached before a bump
+        # are unreachable even if clearing were skipped: a re-lookup
+        # after invalidate must be a miss, not a stale hit.
+        server = _server()
+        server.fused_step_seconds(4, 100, 0)
+        stepcost.invalidate()
+        misses = stepcost.cache_info()["misses"]
+        server.fused_step_seconds(4, 100, 0)
+        assert stepcost.cache_info()["misses"] == misses + 1
+
+    def test_distinct_devices_get_distinct_entries(self):
+        stepcost.invalidate()  # isolate from shapes cached by other tests
+        size0 = stepcost.cache_info()["size"]
+        small = _server()
+        small.fused_step_seconds(1, 50, 0)
+        big = WaferServer(get_model("llama3-8b"), WSE2, mode="chunked",
+                          chunk_tokens=64, default_context_len=512)
+        big.fused_step_seconds(1, 50, 0)
+        assert stepcost.cache_info()["size"] >= size0 + 2
+
+
+class TestNoteSteps:
+    def test_note_steps_counts_attempts(self):
+        injector = FaultInjector(0.0, seed=0)
+        injector.note_steps(17)
+        assert injector.steps_attempted == 17
+        assert injector.steps_killed == 0
+
+    def test_note_steps_rejected_at_nonzero_rate(self):
+        injector = FaultInjector(0.5, seed=0)
+        with pytest.raises(ConfigurationError):
+            injector.note_steps(1)
